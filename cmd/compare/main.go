@@ -1,0 +1,127 @@
+// Command compare runs every distributed strategy side by side at one
+// configuration and prints a verdict table: the paper's pipeline
+// (sequential and overlapped), the Quiver baseline (GPU and UVA), and
+// the 1D-partitioned sampling baseline.
+//
+//	compare -dataset products -profile small -p 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/baseline"
+	"repro/internal/bench"
+	"repro/internal/cluster"
+	"repro/internal/datasets"
+	"repro/internal/distsample"
+	"repro/internal/pipeline"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "products", "products, protein, papers")
+		profile = flag.String("profile", "small", "tiny, small, bench")
+		p       = flag.Int("p", 8, "simulated GPUs")
+		maxB    = flag.Int("maxbatches", 0, "cap batches per epoch (0 = all)")
+		seed    = flag.Int64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	prof := datasets.Small
+	switch *profile {
+	case "tiny":
+		prof = datasets.Tiny
+	case "bench":
+		prof = datasets.Bench
+	}
+	d, err := datasets.ByName(*dataset, prof)
+	if err != nil {
+		fatal(err)
+	}
+	c := bench.CFor(*p)
+	k := bench.KFor(*p, d.NumBatches())
+	fmt.Printf("dataset=%s p=%d c=%d | per-epoch simulated seconds\n", *dataset, *p, c)
+	fmt.Printf("%-28s %10s %10s %10s %10s\n", "system", "sampling", "fetch", "prop", "total")
+
+	row := func(name string, e pipeline.EpochStats) {
+		fmt.Printf("%-28s %10.4f %10.4f %10.4f %10.4f\n",
+			name, e.Sampling, e.FeatureFetch, e.Propagation, e.Total)
+	}
+
+	ours, err := pipeline.Run(d, pipeline.Config{
+		P: *p, C: c, K: k, MaxBatches: *maxB, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	row("bulk pipeline (replicated)", ours.LastEpoch())
+
+	over, err := pipeline.Run(d, pipeline.Config{
+		P: *p, C: c, K: maxInt(d.NumBatches()/4, *p), MaxBatches: *maxB, Seed: *seed, Overlap: true})
+	if err != nil {
+		fatal(err)
+	}
+	row("bulk pipeline (overlapped)", over.LastEpoch())
+
+	if *p >= 4 && (*p/2)%2 == 0 {
+		part, err := pipeline.Run(d, pipeline.Config{
+			P: *p, C: 2, K: k, MaxBatches: *maxB, Seed: *seed,
+			Algorithm: pipeline.GraphPartitioned, SparsityAware: true})
+		if err != nil {
+			fatal(err)
+		}
+		row("bulk pipeline (partitioned)", part.LastEpoch())
+	}
+
+	quiver, err := baseline.RunQuiver(d, baseline.QuiverConfig{
+		P: *p, MaxBatches: *maxB, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	row("quiver strategy (GPU)", quiver.LastEpoch())
+
+	uva, err := baseline.RunQuiver(d, baseline.QuiverConfig{
+		P: *p, UVA: true, MaxBatches: *maxB, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	row("quiver strategy (UVA)", uva.LastEpoch())
+
+	// 1D sampling baseline (sampling only — no training pipeline).
+	batches := d.Batches()
+	if *maxB > 0 && *maxB < len(batches) {
+		batches = batches[:*maxB]
+	}
+	cl := cluster.New(*p, cluster.Perlmutter())
+	world := cl.World()
+	oneD := distsample.NewOneDSet(*p, d.Graph.Adj)
+	res, err := cl.Run(func(r *cluster.Rank) error {
+		local := distsample.ReplicatedBatches(*p, r.ID, batches)
+		distsample.SampleSAGE1D(r, oneD[r.ID], world, local, d.Fanouts, *seed)
+		return nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-28s %10.4f %10s %10s %10s\n", "1D-partitioned sampling",
+		res.SimTime, "-", "-", "-")
+
+	best := ours.LastEpoch().Total
+	if over.LastEpoch().Total < best {
+		best = over.LastEpoch().Total
+	}
+	fmt.Printf("\nbulk pipeline vs quiver: %.2fx faster\n", quiver.LastEpoch().Total/best)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "compare:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,194 @@
+// Command gnnbench regenerates the paper's tables and figures on the
+// simulated cluster. Each experiment id corresponds to one artifact of
+// the evaluation section (see DESIGN.md's per-experiment index):
+//
+//	gnnbench -experiment fig4 -profile bench
+//	gnnbench -experiment fig7ladies -profile small
+//	gnnbench -experiment all -profile tiny -json results.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/datasets"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "one of: table2, table3, fig4, fig5, fig6, fig7sage, fig7ladies, acc, tprob, amortization, cachesweep, sparsity, partition, explosion, variance, overlap, sensitivity, straggler, verify, all")
+		profile    = flag.String("profile", "small", "dataset size: tiny, small, bench")
+		gpus       = flag.String("gpus", "", "comma-separated GPU counts (default per experiment)")
+		maxBatches = flag.Int("maxbatches", 0, "cap batches per epoch and extrapolate (0 = all)")
+		epochs     = flag.Int("epochs", 15, "training epochs for the accuracy experiment")
+		seed       = flag.Int64("seed", 20240101, "experiment seed")
+		jsonOut    = flag.String("json", "", "also write results as JSON to this file")
+	)
+	flag.Parse()
+
+	prof, err := parseProfile(*profile)
+	if err != nil {
+		fatal(err)
+	}
+	opts := bench.Options{Profile: prof, MaxBatches: *maxBatches, Seed: *seed}
+	if *gpus != "" {
+		counts, err := parseInts(*gpus)
+		if err != nil {
+			fatal(err)
+		}
+		opts.GPUCounts = counts
+	}
+	report := trace.NewReport(map[string]string{
+		"profile":    *profile,
+		"seed":       fmt.Sprint(*seed),
+		"maxbatches": fmt.Sprint(*maxBatches),
+	})
+
+	run := func(id string) error {
+		switch id {
+		case "table2":
+			bench.Table2(os.Stdout)
+		case "table3":
+			rows, err := bench.Table3(os.Stdout, prof)
+			report.Add(id, rows)
+			return err
+		case "fig4":
+			rows, err := bench.Fig4(os.Stdout, opts)
+			report.Add(id, rows)
+			return err
+		case "fig5":
+			rows, err := bench.Fig5(os.Stdout, opts)
+			report.Add(id, rows)
+			return err
+		case "fig6":
+			rows, err := bench.Fig6(os.Stdout, opts)
+			report.Add(id, rows)
+			return err
+		case "fig7sage":
+			rows, err := bench.Fig7(os.Stdout, "sage", opts)
+			report.Add(id, rows)
+			return err
+		case "fig7ladies":
+			rows, err := bench.Fig7(os.Stdout, "ladies", opts)
+			report.Add(id, rows)
+			return err
+		case "acc":
+			res, err := bench.Accuracy(os.Stdout, nil, *epochs, *seed)
+			report.Add(id, res)
+			return err
+		case "tprob":
+			p := 16
+			if len(opts.GPUCounts) > 0 {
+				p = opts.GPUCounts[0]
+			}
+			rows, err := bench.Tprob(os.Stdout, "products", p, []int{1, 2, 4}, opts)
+			report.Add(id, rows)
+			return err
+		case "amortization":
+			rows, err := bench.Amortization(os.Stdout, "products", []int{1, 4, 16, 0}, opts)
+			report.Add(id, rows)
+			return err
+		case "cachesweep":
+			rows, err := bench.CacheSweep(os.Stdout, "products", 8, []float64{0.05, 0.2}, opts)
+			report.Add(id, rows)
+			return err
+		case "sparsity":
+			row, err := bench.SparsityAblation(os.Stdout, "products", 16, 2, opts)
+			report.Add(id, row)
+			return err
+		case "straggler":
+			rows, err := bench.StragglerSensitivity(os.Stdout, "products", 8, []float64{1, 1.5, 2, 4}, opts)
+			report.Add(id, rows)
+			return err
+		case "overlap":
+			rows, err := bench.OverlapAnalysis(os.Stdout, opts)
+			report.Add(id, rows)
+			return err
+		case "sensitivity":
+			rows, err := bench.Sensitivity(os.Stdout, "products", []int{8, 32}, opts)
+			report.Add(id, rows)
+			return err
+		case "variance":
+			rows, err := bench.SamplerVariance(os.Stdout, "products", []int{2, 5, 10}, opts)
+			report.Add(id, rows)
+			return err
+		case "verify":
+			rows, err := bench.Verify(os.Stdout, opts)
+			report.Add(id, rows)
+			return err
+		case "partition":
+			rows, err := bench.PartitionAblation(os.Stdout, "products", []int{8, 16, 32}, opts)
+			report.Add(id, rows)
+			return err
+		case "explosion":
+			rows, err := bench.Explosion(os.Stdout, "products", opts)
+			report.Add(id, rows)
+			return err
+		default:
+			return fmt.Errorf("unknown experiment %q", id)
+		}
+		return nil
+	}
+
+	ids := []string{*experiment}
+	if *experiment == "all" {
+		ids = []string{"table2", "table3", "fig4", "fig5", "fig6", "fig7sage", "fig7ladies",
+			"acc", "tprob", "amortization", "cachesweep", "sparsity", "partition", "explosion", "variance", "overlap", "sensitivity", "straggler", "verify"}
+	}
+	for i, id := range ids {
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := run(id); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := report.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
+	}
+}
+
+func parseProfile(s string) (datasets.Profile, error) {
+	switch s {
+	case "tiny":
+		return datasets.Tiny, nil
+	case "small":
+		return datasets.Small, nil
+	case "bench":
+		return datasets.Bench, nil
+	}
+	return 0, fmt.Errorf("unknown profile %q", s)
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad GPU count %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gnnbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,106 @@
+package autotune
+
+import (
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/pipeline"
+)
+
+func TestEstimateMonotoneInCAndK(t *testing.T) {
+	d := datasets.ProductsLike(datasets.Tiny)
+	m := DefaultMemoryModel()
+	// More replication -> bigger feature block.
+	if m.Estimate(d, 8, 4, 4) <= m.Estimate(d, 8, 1, 4) {
+		t.Fatal("estimate not increasing in c")
+	}
+	// More bulk -> bigger working set (p=2 so per-GPU batches differ).
+	if m.Estimate(d, 2, 1, 8) <= m.Estimate(d, 2, 1, 1) {
+		t.Fatal("estimate not increasing in k")
+	}
+	// More GPUs shrink both shares.
+	if m.Estimate(d, 16, 2, 8) >= m.Estimate(d, 4, 2, 8) {
+		t.Fatal("estimate not decreasing in p")
+	}
+}
+
+func TestTunePrefersMaxC(t *testing.T) {
+	d := datasets.ProductsLike(datasets.Tiny)
+	m := MemoryModel{GPUBytes: 1 << 30, Overhead: 0.1} // plenty of room
+	choice, err := Tune(m, d, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice.C != 8 {
+		t.Fatalf("with ample memory c should be max: got %d", choice.C)
+	}
+	if choice.K != 0 {
+		t.Fatalf("with ample memory k should be all: got %d", choice.K)
+	}
+}
+
+func TestTuneShrinksUnderPressure(t *testing.T) {
+	d := datasets.ProductsLike(datasets.Tiny)
+	ample, err := Tune(MemoryModel{GPUBytes: 1 << 30, Overhead: 0.1}, d, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A budget just below the maximal configuration forces the tuner
+	// to give something up (smaller k or smaller c).
+	m := MemoryModel{GPUBytes: ample.Estimate - 1024, Overhead: 0}
+	tight, err := Tune(m, d, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.C > ample.C {
+		t.Fatalf("tight budget raised c: %+v vs %+v", tight, ample)
+	}
+	if tight.C == ample.C && tight.K == ample.K {
+		t.Fatalf("tight budget changed nothing: %+v", tight)
+	}
+	if tight.Estimate > m.GPUBytes {
+		t.Fatalf("tuned config exceeds budget: %+v", tight)
+	}
+}
+
+func TestTuneFailsWhenNothingFits(t *testing.T) {
+	d := datasets.ProductsLike(datasets.Tiny)
+	if _, err := Tune(MemoryModel{GPUBytes: 1, Overhead: 0}, d, 4); err == nil {
+		t.Fatal("expected error for impossible budget")
+	}
+}
+
+func TestTuneConfigFillsZeros(t *testing.T) {
+	d := datasets.ProductsLike(datasets.Tiny)
+	m := MemoryModel{GPUBytes: 1 << 30, Overhead: 0.1}
+	cfg, err := TuneConfig(m, d, pipeline.Config{P: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.C == 0 {
+		t.Fatal("C not filled")
+	}
+	// Explicit values survive.
+	cfg2, err := TuneConfig(m, d, pipeline.Config{P: 8, C: 2, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg2.C != 2 || cfg2.K != 3 {
+		t.Fatalf("explicit values overwritten: %+v", cfg2)
+	}
+}
+
+func TestTunedConfigRuns(t *testing.T) {
+	d := datasets.ProductsLike(datasets.Tiny)
+	cfg, err := TuneConfig(DefaultMemoryModel(), d, pipeline.Config{P: 4, Epochs: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pipeline.Run(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LastEpoch().Total <= 0 {
+		t.Fatal("tuned run produced no time")
+	}
+}

@@ -1,0 +1,112 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/datasets"
+)
+
+func TestRunQuiverBasic(t *testing.T) {
+	d := datasets.ProductsLike(datasets.Tiny)
+	res, err := RunQuiver(d, QuiverConfig{P: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := res.LastEpoch()
+	if e.Sampling <= 0 || e.FeatureFetch <= 0 || e.Propagation <= 0 {
+		t.Fatalf("breakdown missing: %+v", e)
+	}
+	if res.Params == nil {
+		t.Fatal("no trained parameters")
+	}
+}
+
+func TestQuiverUVASamplingSlower(t *testing.T) {
+	// Figure 5: GPU sampling outperforms UVA sampling because UVA pays
+	// the PCIe link on every adjacency access.
+	d := datasets.ProteinLike(datasets.Tiny)
+	gpu, err := RunQuiver(d, QuiverConfig{P: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uva, err := RunQuiver(d, QuiverConfig{P: 4, UVA: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uva.LastEpoch().Sampling <= gpu.LastEpoch().Sampling {
+		t.Fatalf("UVA sampling (%v) not slower than GPU (%v)",
+			uva.LastEpoch().Sampling, gpu.LastEpoch().Sampling)
+	}
+}
+
+func TestQuiverPaysPerBatchKernelOverheads(t *testing.T) {
+	// The Quiver strategy launches sampling kernels per minibatch; the
+	// bulk pipeline launches them per bulk. With identical work, the
+	// baseline's sampling time must exceed a single-bulk run's at the
+	// same p. (Indirect check: sampling time strictly positive and at
+	// least the kernel floor of batches x layers x launches.)
+	d := datasets.ProductsLike(datasets.Tiny)
+	res, err := RunQuiver(d, QuiverConfig{P: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := res.Cfg // zero; just ensure struct accessible
+	_ = model
+	minKernelTime := float64(d.NumBatches()*2*4) * 10e-6 // layers x ~4 kernels
+	if res.LastEpoch().Sampling < minKernelTime {
+		t.Fatalf("sampling %v below kernel floor %v", res.LastEpoch().Sampling, minKernelTime)
+	}
+}
+
+func TestQuiverTrainsLoss(t *testing.T) {
+	d := datasets.SBM(datasets.SBMConfig{
+		N: 512, Classes: 4, Features: 8,
+		IntraDeg: 10, InterDeg: 2, Noise: 0.5,
+		BatchSize: 32, Fanouts: []int{5, 3}, LayerWidth: 32, Seed: 4,
+	})
+	res, err := RunQuiver(d, QuiverConfig{P: 2, Epochs: 4, Seed: 4, LR: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epochs[3].Loss >= res.Epochs[0].Loss {
+		t.Fatalf("loss did not improve: %v -> %v", res.Epochs[0].Loss, res.Epochs[3].Loss)
+	}
+}
+
+func TestCPULadiesReferencePositiveAndScalesWithBatches(t *testing.T) {
+	d := datasets.ProductsLike(datasets.Tiny)
+	full, err := CPULadiesReference(d, 1, 0, 5, cluster.Perlmutter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full <= 0 {
+		t.Fatal("reference time not positive")
+	}
+	// Extrapolation from fewer batches should land near the full time.
+	part, err := CPULadiesReference(d, 1, 2, 5, cluster.Perlmutter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part <= 0 {
+		t.Fatal("extrapolated time not positive")
+	}
+	ratio := part / full
+	if ratio < 0.2 || ratio > 5 {
+		t.Fatalf("extrapolation ratio %v out of range", ratio)
+	}
+}
+
+func TestBytesHelpers(t *testing.T) {
+	d := datasets.ProductsLike(datasets.Tiny)
+	if GraphBytes(d) <= 0 || FeatureBytes(d) <= 0 {
+		t.Fatal("size helpers must be positive")
+	}
+}
+
+func TestRunQuiverRejectsZeroP(t *testing.T) {
+	d := datasets.ProductsLike(datasets.Tiny)
+	if _, err := RunQuiver(d, QuiverConfig{P: 0}); err == nil {
+		t.Fatal("expected error for p=0")
+	}
+}

@@ -1,0 +1,370 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/datasets"
+)
+
+func tinyOpts() Options {
+	return Options{
+		Profile:   datasets.Tiny,
+		GPUCounts: []int{4, 8},
+		Seed:      1,
+	}
+}
+
+func TestTable2Prints(t *testing.T) {
+	var buf bytes.Buffer
+	Table2(&buf)
+	out := buf.String()
+	for _, sys := range []string{"DistDGL", "Quiver", "This work"} {
+		if !strings.Contains(out, sys) {
+			t.Fatalf("table 2 missing %q", sys)
+		}
+	}
+}
+
+func TestTable3Stats(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Table3(&buf, datasets.Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byName := map[string]Table3Row{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	if !(byName["protein"].AvgDeg > byName["products"].AvgDeg &&
+		byName["products"].AvgDeg > byName["papers"].AvgDeg) {
+		t.Fatalf("density ordering broken: %+v", rows)
+	}
+}
+
+func TestFig4ShapeHolds(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Fig4(&buf, tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 { // 3 datasets x 2 GPU counts
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Total <= 0 || r.QuiverTotal <= 0 {
+			t.Fatalf("non-positive totals: %+v", r)
+		}
+		if r.Sampling <= 0 || r.FeatureFetch <= 0 || r.Propagation <= 0 {
+			t.Fatalf("missing phase: %+v", r)
+		}
+	}
+}
+
+func TestFig4SpeedupAtScale(t *testing.T) {
+	// The headline claim: at the larger GPU count the bulk pipeline
+	// beats the per-batch Quiver strategy on every dataset.
+	var buf bytes.Buffer
+	rows, err := Fig4(&buf, tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.P >= 8 && r.Speedup <= 1 {
+			t.Fatalf("no speedup at scale: %+v", r)
+		}
+	}
+}
+
+func TestFig5UVASlower(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Fig5(&buf, tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.UVATotal <= r.GPUTotal*0.9 {
+			t.Fatalf("UVA unexpectedly fast: %+v", r)
+		}
+	}
+}
+
+func TestFig6ReplicationHelpsFetch(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Fig6(&buf, Options{Profile: datasets.Tiny, GPUCounts: []int{8}, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.FetchRep >= r.FetchNone {
+			t.Fatalf("replication did not reduce fetch: %+v", r)
+		}
+	}
+}
+
+func TestFig7BreakdownsPositive(t *testing.T) {
+	var buf bytes.Buffer
+	opts := Options{Profile: datasets.Tiny, GPUCounts: []int{4}, Seed: 3}
+	for _, sampler := range []string{"sage", "ladies"} {
+		rows, err := Fig7(&buf, sampler, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Probability <= 0 || r.Sampling <= 0 || r.Extraction <= 0 {
+				t.Fatalf("%s: missing sub-phase: %+v", sampler, r)
+			}
+			if r.Comm <= 0 {
+				t.Fatalf("%s: partitioned sampling must communicate: %+v", sampler, r)
+			}
+			if r.Comp <= 0 {
+				t.Fatalf("%s: computation missing: %+v", sampler, r)
+			}
+		}
+		if sampler == "ladies" {
+			for _, r := range rows {
+				if r.CPURef <= 0 {
+					t.Fatalf("CPU reference missing: %+v", r)
+				}
+			}
+		}
+	}
+}
+
+func TestAccuracyExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	d := datasets.SBM(datasets.SBMConfig{
+		N: 512, Classes: 4, Features: 8,
+		IntraDeg: 10, InterDeg: 2, Noise: 0.5,
+		BatchSize: 32, Fanouts: []int{5, 3}, LayerWidth: 32, Seed: 11,
+	})
+	res, err := Accuracy(&buf, d, 8, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TestAccuracy <= res.UntrainedAccuracy {
+		t.Fatalf("training did not beat untrained: %+v", res)
+	}
+	if res.FinalLoss >= res.FirstLoss {
+		t.Fatalf("loss did not decrease: %+v", res)
+	}
+}
+
+func TestTprobModelWithinOrderOfMagnitude(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Tprob(&buf, "products", 4, []int{1, 2}, Options{Profile: datasets.Tiny, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Measured <= 0 || r.Predicted <= 0 {
+			t.Fatalf("non-positive entries: %+v", r)
+		}
+		if r.Ratio < 0.02 || r.Ratio > 50 {
+			t.Fatalf("model and measurement diverge beyond order of magnitude: %+v", r)
+		}
+	}
+}
+
+func TestCKHelpers(t *testing.T) {
+	if CFor(4) != 1 || CFor(8) != 2 || CFor(128) != 8 {
+		t.Fatal("CFor mapping wrong")
+	}
+	if KFor(4, 100) != 50 || KFor(64, 100) != 0 {
+		t.Fatal("KFor mapping wrong")
+	}
+}
+
+func TestSortRows(t *testing.T) {
+	rows := []Fig4Row{{Dataset: "b", P: 8}, {Dataset: "a", P: 16}, {Dataset: "a", P: 4}}
+	SortRows(rows)
+	if rows[0].Dataset != "a" || rows[0].P != 4 || rows[2].Dataset != "b" {
+		t.Fatalf("sort wrong: %+v", rows)
+	}
+}
+
+func TestAmortizationMonotone(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Amortization(&buf, "products", []int{1, 2, 4}, Options{Profile: datasets.Tiny, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bigger bulks amortize kernel launches: time must not increase.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].SimTime > rows[i-1].SimTime {
+			t.Fatalf("amortization not monotone: %+v", rows)
+		}
+	}
+	if rows[0].SimTime <= rows[len(rows)-1].SimTime*1.01 {
+		t.Fatalf("no amortization benefit observed: %+v", rows)
+	}
+}
+
+func TestCacheSweepReducesFetch(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := CacheSweep(&buf, "products", 4, []float64{0.25}, Options{Profile: datasets.Tiny, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 { // none + static + lru
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[1].FetchTime >= rows[0].FetchTime {
+		t.Fatalf("static cache did not help: %+v", rows)
+	}
+}
+
+func TestSparsityAblationBytes(t *testing.T) {
+	var buf bytes.Buffer
+	row, err := SparsityAblation(&buf, "products", 4, 2, Options{Profile: datasets.Tiny, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.AwareBytes >= row.ObliviousBytes {
+		t.Fatalf("sparsity-aware sent more bytes: %+v", row)
+	}
+}
+
+func TestExplosionShape(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Explosion(&buf, "protein", Options{Profile: datasets.Tiny, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for l := 1; l < len(rows); l++ {
+		// Exact neighborhoods grow monotonically and dominate the
+		// LADIES frontier (which adds at most s per layer).
+		if rows[l].FullHop < rows[l-1].FullHop {
+			t.Fatalf("exact hop shrank: %+v", rows)
+		}
+		if rows[l].LADIESFrontier > rows[l-1].LADIESFrontier+32 {
+			t.Fatalf("LADIES frontier grew beyond s: %+v", rows)
+		}
+	}
+	last := rows[len(rows)-1]
+	if last.FullHop <= last.LADIESFrontier {
+		t.Fatalf("no explosion visible on dense graph: %+v", last)
+	}
+}
+
+func TestPartitionAblation(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := PartitionAblation(&buf, "products", []int{8}, Options{Profile: datasets.Tiny, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].OneDBytes <= rows[0].FifteenDBytes {
+		t.Fatalf("1D should move more bytes: %+v", rows[0])
+	}
+}
+
+func TestVerifyAllPass(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Verify(&buf, Options{Profile: datasets.Tiny, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 5 {
+		t.Fatalf("only %d checks ran", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Pass {
+			t.Fatalf("verification failed: %+v\n%s", r, buf.String())
+		}
+	}
+}
+
+func TestSamplerVariance(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := SamplerVariance(&buf, "products", []int{2, 8}, Options{Profile: datasets.Tiny, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// SAGE error must fall as fanout grows; its budget must exceed the
+	// layer-wise samplers' at equal s.
+	var sage2, sage8 VarianceRow
+	for _, r := range rows {
+		if r.Sampler == "GraphSAGE" && r.Fanout == 2 {
+			sage2 = r
+		}
+		if r.Sampler == "GraphSAGE" && r.Fanout == 8 {
+			sage8 = r
+		}
+	}
+	if sage8.MSE >= sage2.MSE {
+		t.Fatalf("SAGE error did not fall with fanout: %+v vs %+v", sage8, sage2)
+	}
+	for _, r := range rows {
+		if r.Sampler == "LADIES" && r.Fanout == 8 && r.Budget > sage8.Budget {
+			t.Fatalf("LADIES budget exceeds SAGE: %+v", r)
+		}
+	}
+}
+
+func TestOverlapAnalysisBounds(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := OverlapAnalysis(&buf, Options{Profile: datasets.Tiny, GPUCounts: []int{4}, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Overlapped > r.Sequential {
+			t.Fatalf("overlap bound above sequential: %+v", r)
+		}
+		if r.Measured > r.Sequential*1.01 {
+			t.Fatalf("measured overlap slower than sequential: %+v", r)
+		}
+		if r.Measured < r.Overlapped*0.95 {
+			t.Fatalf("measured overlap beats the physical bound: %+v", r)
+		}
+		if r.Speedup < 0.99 || r.Speedup > 2.1 {
+			t.Fatalf("overlap speedup out of range: %+v", r)
+		}
+	}
+}
+
+func TestSensitivitySpeedupSurvivesModelSwap(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Sensitivity(&buf, "products", []int{8}, Options{Profile: datasets.Tiny, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Speedup <= 1 {
+			t.Fatalf("bulk pipeline loses under %s: %+v", r.ModelName, r)
+		}
+	}
+}
+
+func TestStragglerSensitivityMonotone(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := StragglerSensitivity(&buf, "products", 4, []float64{1, 2, 4},
+		Options{Profile: datasets.Tiny, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Epoch <= rows[i-1].Epoch {
+			t.Fatalf("straggler epoch not increasing: %+v", rows)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/datasets"
+	"repro/internal/distsample"
+)
+
+// TprobRow compares measured 1.5D probability-generation communication
+// time against the paper's closed-form model of Section 5.2.1:
+//
+//	T_prob = α(p/c² + log c) + β(kbd/c + c·kbd/p)
+type TprobRow struct {
+	Dataset   string
+	P, C      int
+	Measured  float64
+	Predicted float64
+	Ratio     float64
+}
+
+// Tprob sweeps replication factors at fixed p and reports measured vs
+// modeled communication time for the first sampling layer.
+func Tprob(w io.Writer, dataset string, p int, cs []int, o Options) ([]TprobRow, error) {
+	o = o.withDefaults()
+	d, err := datasets.ByName(dataset, o.Profile)
+	if err != nil {
+		return nil, err
+	}
+	batches := d.Batches()
+	k := len(batches)
+	if o.MaxBatches > 0 && o.MaxBatches < k {
+		k = o.MaxBatches
+	}
+	b := float64(d.BatchSize)
+	deg := d.Graph.AvgDegree()
+	alpha := o.Model.Alpha[1] // inter-node tier dominates at scale
+	beta := o.Model.Beta[1]
+
+	fmt.Fprintf(w, "T_prob model check (Section 5.2.1), dataset=%s p=%d, first layer\n", dataset, p)
+	fmt.Fprintf(w, "%3s %12s %12s %8s\n", "c", "measured(s)", "model(s)", "ratio")
+	var rows []TprobRow
+	for _, c := range cs {
+		res, err := RunPartitionedSampling(d, "sage", p, c, true, o.MaxBatches, 1, o.Seed, o.Model)
+		if err != nil {
+			return nil, err
+		}
+		measured := res.PhaseComm(distsample.PhaseProbability)
+		kb := float64(k) * b
+		predicted := alpha*(float64(p)/float64(c*c)+math.Log2(float64(c)+1)) +
+			beta*(kb*deg/float64(c)+float64(c)*kb*deg/float64(p))*8
+		row := TprobRow{Dataset: dataset, P: p, C: c, Measured: measured, Predicted: predicted}
+		if predicted > 0 {
+			row.Ratio = measured / predicted
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(w, "%3d %12.5f %12.5f %8.2f\n", c, measured, predicted, row.Ratio)
+	}
+	return rows, nil
+}

@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/distsample"
+	"repro/internal/sparse"
+)
+
+// VerifyRow is one equivalence check outcome.
+type VerifyRow struct {
+	Check string
+	Pass  bool
+	Note  string
+}
+
+// Verify runs the headline correctness properties as an executable
+// checklist: every distributed sampling algorithm must produce results
+// identical to the serial bulk sampler. This is what justifies reading
+// the simulated timings as measurements of the same computation the
+// paper runs.
+func Verify(w io.Writer, o Options) ([]VerifyRow, error) {
+	o = o.withDefaults()
+	d, err := datasets.ByName("products", o.Profile)
+	if err != nil {
+		return nil, err
+	}
+	a := d.Graph.Adj
+	batches := d.Batches()
+	if len(batches) > 8 {
+		batches = batches[:8]
+	}
+	fanouts := d.Fanouts
+	var rows []VerifyRow
+	add := func(check string, pass bool, note string) {
+		rows = append(rows, VerifyRow{Check: check, Pass: pass, Note: note})
+		status := "PASS"
+		if !pass {
+			status = "FAIL"
+		}
+		fmt.Fprintf(w, "%-48s %s %s\n", check, status, note)
+	}
+
+	sameBulk := func(x, y *core.BulkSample) bool {
+		if len(x.Layers) != len(y.Layers) {
+			return false
+		}
+		for l := range x.Layers {
+			if !sparse.Equal(x.Layers[l].Adj, y.Layers[l].Adj, 1e-12) {
+				return false
+			}
+			xv, yv := x.Layers[l].Cols.Vertices, y.Layers[l].Cols.Vertices
+			if len(xv) != len(yv) {
+				return false
+			}
+			for i := range xv {
+				if xv[i] != yv[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	type distRun func(r *cluster.Rank, set any, local [][]int) *core.BulkSample
+
+	checkGrid := func(name string, p, c int, sampler core.Sampler, run distRun, makeSet func(g *cluster.Grid) any) error {
+		cl := cluster.New(p, o.Model)
+		g := cluster.NewGrid(cl, p, c)
+		set := makeSet(g)
+		results := make([]*core.BulkSample, p)
+		_, err := cl.Run(func(r *cluster.Rank) error {
+			local := distsample.LocalBatches(g, r.ID, batches)
+			results[r.ID] = run(r, set, local)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		pass := true
+		for rank := 0; rank < p; rank++ {
+			local := distsample.LocalBatches(g, rank, batches)
+			want := core.SampleBulk(sampler, a, local, samplerFanouts(sampler, d, fanouts), o.Seed)
+			if !sameBulk(results[rank], want) {
+				pass = false
+				break
+			}
+		}
+		add(name, pass, fmt.Sprintf("(p=%d c=%d)", p, c))
+		return nil
+	}
+
+	// Replicated SAGE vs serial.
+	{
+		p := 4
+		cl := cluster.New(p, o.Model)
+		results := make([]*core.BulkSample, p)
+		_, err := cl.Run(func(r *cluster.Rank) error {
+			local := distsample.ReplicatedBatches(p, r.ID, batches)
+			results[r.ID] = distsample.SampleReplicated(r, core.SAGE{}, a, local, fanouts, o.Seed)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		pass := true
+		for rank := 0; rank < p; rank++ {
+			local := distsample.ReplicatedBatches(p, rank, batches)
+			if !sameBulk(results[rank], core.SampleBulk(core.SAGE{}, a, local, fanouts, o.Seed)) {
+				pass = false
+			}
+		}
+		add("replicated SAGE == serial bulk", pass, "(p=4)")
+	}
+
+	// Partitioned SAGE, LADIES, FastGCN vs serial across a grid.
+	if err := checkGrid("partitioned SAGE == serial bulk", 4, 2, core.SAGE{},
+		func(r *cluster.Rank, set any, local [][]int) *core.BulkSample {
+			return distsample.SampleSAGEPartitioned(r, set.([]*distsample.Partitioned)[r.ID], local, fanouts, o.Seed)
+		},
+		func(g *cluster.Grid) any { return distsample.NewPartitionedSet(g, a, true) }); err != nil {
+		return nil, err
+	}
+	if err := checkGrid("partitioned LADIES == serial bulk", 4, 2, core.LADIES{},
+		func(r *cluster.Rank, set any, local [][]int) *core.BulkSample {
+			return distsample.SampleLADIESPartitioned(r, set.([]*distsample.Partitioned)[r.ID], local, d.LayerWidth, 1, o.Seed)
+		},
+		func(g *cluster.Grid) any { return distsample.NewPartitionedSet(g, a, true) }); err != nil {
+		return nil, err
+	}
+	if err := checkGrid("partitioned FastGCN == serial bulk", 4, 2, core.FastGCN{},
+		func(r *cluster.Rank, set any, local [][]int) *core.BulkSample {
+			return distsample.SampleFastGCNPartitioned(r, set.([]*distsample.Partitioned)[r.ID], local, d.LayerWidth, 1, o.Seed)
+		},
+		func(g *cluster.Grid) any { return distsample.NewPartitionedSet(g, a, true) }); err != nil {
+		return nil, err
+	}
+
+	// Sparsity-aware == oblivious.
+	{
+		aware, err := RunVerifyPartitioned(d, batches, true, o)
+		if err != nil {
+			return nil, err
+		}
+		obliv, err := RunVerifyPartitioned(d, batches, false, o)
+		if err != nil {
+			return nil, err
+		}
+		pass := true
+		for i := range aware {
+			if !sameBulk(aware[i], obliv[i]) {
+				pass = false
+			}
+		}
+		add("sparsity-aware == oblivious 1.5D", pass, "(p=4 c=2)")
+	}
+
+	return rows, nil
+}
+
+// samplerFanouts picks the per-layer sizes a sampler uses.
+func samplerFanouts(s core.Sampler, d *datasets.Dataset, fanouts []int) []int {
+	switch s.(type) {
+	case core.LADIES, core.FastGCN:
+		return []int{d.LayerWidth}
+	default:
+		return fanouts
+	}
+}
+
+// RunVerifyPartitioned runs partitioned SAGE over fixed batches for
+// the aware/oblivious equivalence check.
+func RunVerifyPartitioned(d *datasets.Dataset, batches [][]int, aware bool, o Options) ([]*core.BulkSample, error) {
+	const p, c = 4, 2
+	cl := cluster.New(p, o.Model)
+	g := cluster.NewGrid(cl, p, c)
+	set := distsample.NewPartitionedSet(g, d.Graph.Adj, aware)
+	results := make([]*core.BulkSample, p)
+	_, err := cl.Run(func(r *cluster.Rank) error {
+		local := distsample.LocalBatches(g, r.ID, batches)
+		results[r.ID] = distsample.SampleSAGEPartitioned(r, set[r.ID], local, d.Fanouts, o.Seed)
+		return nil
+	})
+	return results, err
+}

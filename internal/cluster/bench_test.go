@@ -1,0 +1,32 @@
+package cluster
+
+import "testing"
+
+func BenchmarkAllReduceSum(b *testing.B) {
+	cl := New(8, Perlmutter())
+	world := cl.World()
+	x := make([]float64, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cl.Run(func(r *Rank) error {
+			AllReduceSum(world, r, x)
+			return nil
+		})
+	}
+}
+
+func BenchmarkAllToAllv(b *testing.B) {
+	cl := New(8, Perlmutter())
+	world := cl.World()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cl.Run(func(r *Rank) error {
+			parts := make([][]float64, 8)
+			for j := range parts {
+				parts[j] = make([]float64, 1000)
+			}
+			AllToAllv(world, r, parts, func(p []float64) int { return 8 * len(p) })
+			return nil
+		})
+	}
+}

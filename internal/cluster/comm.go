@@ -1,0 +1,426 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Comm is a communicator over a subset of the cluster's ranks, like an
+// MPI communicator. All members must call each collective the same
+// number of times in the same order.
+type Comm struct {
+	cl      *Cluster
+	members []int       // global rank ids, ascending
+	index   map[int]int // global rank id -> local index
+	rv      *rendezvous
+	link    Link
+
+	// lazily built sub-communicators for AllReduceSumHier.
+	hierOnce    sync.Once
+	hierIntra   map[int]*Comm
+	hierLeaders *Comm
+}
+
+// NewComm creates a communicator over the given global rank ids.
+// Call it once (typically before Cluster.Run) and share the value.
+func (c *Cluster) NewComm(members []int) *Comm {
+	if len(members) == 0 {
+		panic("cluster: empty communicator")
+	}
+	sorted := append([]int(nil), members...)
+	sort.Ints(sorted)
+	idx := make(map[int]int, len(sorted))
+	for i, m := range sorted {
+		if m < 0 || m >= c.N {
+			panic(fmt.Sprintf("cluster: member %d outside %d ranks", m, c.N))
+		}
+		if _, dup := idx[m]; dup {
+			panic(fmt.Sprintf("cluster: duplicate member %d", m))
+		}
+		idx[m] = i
+	}
+	comm := &Comm{
+		cl:      c,
+		members: sorted,
+		index:   idx,
+		rv:      newRendezvous(len(sorted)),
+		link:    c.Model.worstLink(sorted),
+	}
+	c.mu.Lock()
+	c.comms = append(c.comms, comm)
+	c.mu.Unlock()
+	return comm
+}
+
+// World returns a communicator over all ranks.
+func (c *Cluster) World() *Comm {
+	all := make([]int, c.N)
+	for i := range all {
+		all[i] = i
+	}
+	return c.NewComm(all)
+}
+
+// Size returns the number of members.
+func (c *Comm) Size() int { return len(c.members) }
+
+// LocalIndex returns the rank's index within the communicator.
+func (c *Comm) LocalIndex(r *Rank) int {
+	i, ok := c.index[r.ID]
+	if !ok {
+		panic(fmt.Sprintf("cluster: rank %d not a member of communicator %v", r.ID, c.members))
+	}
+	return i
+}
+
+// Members returns the member rank ids (ascending). Do not modify.
+func (c *Comm) Members() []int { return c.members }
+
+// slot is the per-member contribution to a collective exchange.
+type slot struct {
+	clock float64
+	val   any
+	bytes int
+}
+
+// rendezvous synchronizes one collective call across n participants
+// with a generation counter so back-to-back collectives don't race.
+type rendezvous struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	arrived int
+	gen     uint64
+	slots   []slot
+	out     []slot
+}
+
+func newRendezvous(n int) *rendezvous {
+	rv := &rendezvous{n: n}
+	rv.cond = sync.NewCond(&rv.mu)
+	return rv
+}
+
+// exchange contributes one slot and returns all n slots once every
+// participant has arrived. The returned slice is shared and must be
+// treated as read-only.
+func (rv *rendezvous) exchange(idx int, s slot) []slot {
+	rv.mu.Lock()
+	defer rv.mu.Unlock()
+	if rv.slots == nil {
+		rv.slots = make([]slot, rv.n)
+	}
+	rv.slots[idx] = s
+	rv.arrived++
+	if rv.arrived == rv.n {
+		rv.out = rv.slots
+		rv.slots = nil
+		rv.arrived = 0
+		rv.gen++
+		rv.cond.Broadcast()
+		return rv.out
+	}
+	gen := rv.gen
+	for rv.gen == gen {
+		rv.cond.Wait()
+	}
+	return rv.out
+}
+
+// maxClock returns the maximum entry clock across slots: collectives
+// are bulk synchronous, so everyone leaves no earlier than the slowest
+// arriver plus the modeled cost.
+func maxClock(slots []slot) float64 {
+	m := 0.0
+	for _, s := range slots {
+		if s.clock > m {
+			m = s.clock
+		}
+	}
+	return m
+}
+
+func log2Ceil(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return math.Ceil(math.Log2(float64(n)))
+}
+
+// finish sets the rank's clock to the synchronized completion time and
+// books the delta as communication in the current phase.
+func (c *Comm) finish(r *Rank, doneAt float64) {
+	if doneAt < r.clock {
+		doneAt = r.clock
+	}
+	r.advance(doneAt-r.clock, true)
+}
+
+// Barrier synchronizes all members; cost α·⌈log2 n⌉ at the worst tier.
+func Barrier(c *Comm, r *Rank) {
+	slots := c.rv.exchange(c.LocalIndex(r), slot{clock: r.clock})
+	cost := c.cl.Model.Alpha[c.link] * log2Ceil(c.Size())
+	c.finish(r, maxClock(slots)+cost)
+}
+
+// Broadcast sends root's value to every member. bytes is the payload
+// size for cost accounting; cost (α + β·bytes)·⌈log2 n⌉ models a
+// binomial tree. The value is shared, not copied: receivers must treat
+// it as read-only.
+func Broadcast[T any](c *Comm, r *Rank, root int, val T, bytes int) T {
+	me := c.LocalIndex(r)
+	s := slot{clock: r.clock}
+	if me == root {
+		s.val = val
+		s.bytes = bytes
+	}
+	slots := c.rv.exchange(me, s)
+	rs := slots[root]
+	cost := (c.cl.Model.Alpha[c.link] + float64(rs.bytes)*c.cl.Model.Beta[c.link]) * log2Ceil(c.Size())
+	if me == root {
+		// A tree broadcast moves (n-1) copies across links in total;
+		// book the full volume at the root for traffic accounting.
+		r.countOp("broadcast", int64(rs.bytes)*int64(c.Size()-1))
+	}
+	c.finish(r, maxClock(slots)+cost)
+	return rs.val.(T)
+}
+
+// AllGather collects every member's value; the result is indexed by
+// local member index. Cost α·⌈log2 n⌉ + β·(total bytes).
+func AllGather[T any](c *Comm, r *Rank, val T, bytes int) []T {
+	me := c.LocalIndex(r)
+	slots := c.rv.exchange(me, slot{clock: r.clock, val: val, bytes: bytes})
+	total := 0
+	for _, s := range slots {
+		total += s.bytes
+	}
+	cost := c.cl.Model.Alpha[c.link]*log2Ceil(c.Size()) + float64(total-bytes)*c.cl.Model.Beta[c.link]
+	r.countOp("allgather", int64(bytes)*int64(c.Size()-1))
+	c.finish(r, maxClock(slots)+cost)
+	out := make([]T, len(slots))
+	for i, s := range slots {
+		out[i] = s.val.(T)
+	}
+	return out
+}
+
+// Gather collects every member's value at root; non-root members
+// receive nil. Cost at root α·⌈log2 n⌉ + β·(received bytes); leaves pay
+// α + β·(own bytes).
+func Gather[T any](c *Comm, r *Rank, root int, val T, bytes int) []T {
+	me := c.LocalIndex(r)
+	slots := c.rv.exchange(me, slot{clock: r.clock, val: val, bytes: bytes})
+	entry := maxClock(slots)
+	if me == root {
+		total := 0
+		for i, s := range slots {
+			if i != root {
+				total += s.bytes
+			}
+		}
+		cost := c.cl.Model.Alpha[c.link]*log2Ceil(c.Size()) + float64(total)*c.cl.Model.Beta[c.link]
+		c.finish(r, entry+cost)
+		out := make([]T, len(slots))
+		for i, s := range slots {
+			out[i] = s.val.(T)
+		}
+		return out
+	}
+	r.countOp("gather", int64(bytes))
+	cost := c.cl.Model.Alpha[c.link] + float64(bytes)*c.cl.Model.Beta[c.link]
+	c.finish(r, entry+cost)
+	return nil
+}
+
+// Scatter distributes parts[i] from root to member i. Root must pass a
+// slice with one entry per member; others pass nil. bytes sizes each
+// part for cost accounting. Root's completion charges the total volume
+// sent (a sequential ISend loop as in Algorithm 2); each receiver
+// charges α + β·(its part).
+func Scatter[T any](c *Comm, r *Rank, root int, parts []T, bytes func(T) int) T {
+	me := c.LocalIndex(r)
+	s := slot{clock: r.clock}
+	if me == root {
+		if len(parts) != c.Size() {
+			panic(fmt.Sprintf("cluster: Scatter root passed %d parts for %d members", len(parts), c.Size()))
+		}
+		s.val = parts
+	}
+	slots := c.rv.exchange(me, s)
+	entry := maxClock(slots)
+	rootParts := slots[root].val.([]T)
+	mine := rootParts[me]
+	alpha, beta := c.cl.Model.Alpha[c.link], c.cl.Model.Beta[c.link]
+	if me == root {
+		total := 0
+		for i, p := range rootParts {
+			if i != root {
+				total += bytes(p)
+			}
+		}
+		r.countOp("scatter", int64(total))
+		c.finish(r, entry+float64(c.Size()-1)*alpha+float64(total)*beta)
+	} else {
+		c.finish(r, entry+alpha+float64(bytes(mine))*beta)
+	}
+	return mine
+}
+
+// AllToAllv exchanges parts[i] from each member to member i; the result
+// holds the parts addressed to the caller, indexed by sender. Each
+// member's cost is (n-1)·α + β·max(bytes sent, bytes received),
+// excluding the self part. This is the feature-fetching primitive of
+// Section 6.2.
+func AllToAllv[T any](c *Comm, r *Rank, parts []T, bytes func(T) int) []T {
+	me := c.LocalIndex(r)
+	if len(parts) != c.Size() {
+		panic(fmt.Sprintf("cluster: AllToAllv passed %d parts for %d members", len(parts), c.Size()))
+	}
+	slots := c.rv.exchange(me, slot{clock: r.clock, val: parts})
+	entry := maxClock(slots)
+	sent := 0
+	for i, p := range parts {
+		if i != me {
+			sent += bytes(p)
+		}
+	}
+	out := make([]T, c.Size())
+	recvd := 0
+	for i, s := range slots {
+		p := s.val.([]T)[me]
+		out[i] = p
+		if i != me {
+			recvd += bytes(p)
+		}
+	}
+	vol := sent
+	if recvd > vol {
+		vol = recvd
+	}
+	alpha, beta := c.cl.Model.Alpha[c.link], c.cl.Model.Beta[c.link]
+	r.countOp("alltoallv", int64(sent))
+	c.finish(r, entry+float64(c.Size()-1)*alpha+float64(vol)*beta)
+	return out
+}
+
+// AllReduceSum sums float64 slices elementwise across members; every
+// member receives the total. Cost α·⌈log2 n⌉ + β·bytes, matching the
+// paper's T_allreduce model, plus a memory-rate charge for the local
+// reduction.
+func AllReduceSum(c *Comm, r *Rank, x []float64) []float64 {
+	me := c.LocalIndex(r)
+	slots := c.rv.exchange(me, slot{clock: r.clock, val: x, bytes: 8 * len(x)})
+	entry := maxClock(slots)
+	out := make([]float64, len(x))
+	for _, s := range slots {
+		v := s.val.([]float64)
+		if len(v) != len(x) {
+			panic(fmt.Sprintf("cluster: AllReduceSum length mismatch %d vs %d", len(v), len(x)))
+		}
+		for i, f := range v {
+			out[i] += f
+		}
+	}
+	bytes := 8 * len(x)
+	cost := c.cl.Model.Alpha[c.link]*log2Ceil(c.Size()) + float64(bytes)*c.cl.Model.Beta[c.link]
+	r.countOp("allreduce", int64(bytes))
+	c.finish(r, entry+cost)
+	r.ChargeMem(int64(bytes) * int64(c.Size()))
+	return out
+}
+
+// AllReduceGeneric folds arbitrary values with a user combiner; every
+// member receives combine applied over all members' values in member
+// order. bytes sizes the caller's contribution. Used for sparse-matrix
+// all-reduce in the 1.5D SpGEMM.
+func AllReduceGeneric[T any](c *Comm, r *Rank, val T, bytes int, combine func(a, b T) T) T {
+	me := c.LocalIndex(r)
+	slots := c.rv.exchange(me, slot{clock: r.clock, val: val, bytes: bytes})
+	entry := maxClock(slots)
+	acc := slots[0].val.(T)
+	for _, s := range slots[1:] {
+		acc = combine(acc, s.val.(T))
+	}
+	maxBytes := 0
+	for _, s := range slots {
+		if s.bytes > maxBytes {
+			maxBytes = s.bytes
+		}
+	}
+	cost := c.cl.Model.Alpha[c.link]*log2Ceil(c.Size()) + float64(maxBytes)*c.cl.Model.Beta[c.link]
+	r.countOp("allreduce-generic", int64(bytes))
+	c.finish(r, entry+cost)
+	return acc
+}
+
+// AllReduceSumHier is a hierarchical (two-level) sum all-reduce over a
+// communicator that spans nodes: members reduce within their node at
+// the NVLink tier, node leaders all-reduce across the network, then
+// leaders broadcast back within the node — the NCCL-style algorithm
+// that keeps the slow tier's traffic proportional to the node count
+// rather than the rank count. Falls back to the flat algorithm when
+// the communicator sits on one node.
+func AllReduceSumHier(c *Comm, r *Rank, x []float64) []float64 {
+	model := c.cl.Model
+	// Group members by node.
+	nodeOf := map[int]int{}
+	nodes := map[int][]int{}
+	for _, m := range c.members {
+		n := model.node(m)
+		nodeOf[m] = n
+		nodes[n] = append(nodes[n], m)
+	}
+	if len(nodes) <= 1 {
+		return AllReduceSum(c, r, x)
+	}
+
+	// The collective structure must be identical on every member, so
+	// build the intra-node and leader communicators deterministically.
+	// Communicators are cached on the cluster by construction order;
+	// here we derive them per call through the comm's sub-communicator
+	// cache.
+	intra, leaders := c.hierComms()
+
+	myNodeComm := intra[nodeOf[r.ID]]
+	partial := AllReduceSum(myNodeComm, r, x)
+
+	// Node leaders (smallest rank per node) reduce across nodes.
+	leader := myNodeComm.members[0]
+	var total []float64
+	if r.ID == leader {
+		total = AllReduceSum(leaders, r, partial)
+	}
+	// Broadcast the result back within each node.
+	total = Broadcast(myNodeComm, r, 0, total, 8*len(x))
+	return total
+}
+
+// hierComms lazily builds (exactly once) the per-node and leader
+// sub-communicators of this communicator. All members must share the
+// same instances or their rendezvous would never meet.
+func (c *Comm) hierComms() (map[int]*Comm, *Comm) {
+	c.hierOnce.Do(func() {
+		model := c.cl.Model
+		nodes := map[int][]int{}
+		var nodeOrder []int
+		for _, m := range c.members {
+			n := model.node(m)
+			if _, ok := nodes[n]; !ok {
+				nodeOrder = append(nodeOrder, n)
+			}
+			nodes[n] = append(nodes[n], m)
+		}
+		intra := map[int]*Comm{}
+		var leaderRanks []int
+		for _, n := range nodeOrder {
+			intra[n] = c.cl.NewComm(nodes[n])
+			leaderRanks = append(leaderRanks, nodes[n][0])
+		}
+		c.hierIntra = intra
+		c.hierLeaders = c.cl.NewComm(leaderRanks)
+	})
+	return c.hierIntra, c.hierLeaders
+}

@@ -1,0 +1,174 @@
+// Package cluster simulates a multi-GPU, multi-node cluster for the
+// distributed sampling experiments. Each simulated GPU is a goroutine
+// "rank"; collectives really exchange data between ranks (so results
+// are bit-for-bit what a real distributed run would compute) while an
+// α–β communication model plus device throughput profiles accrue
+// *simulated* time on per-rank clocks.
+//
+// The paper's performance claims are communication-schedule claims
+// analyzed in the α–β model (Section 5.2.1), so replaying the same
+// schedules under a calibrated cost model reproduces the shape of its
+// results: who wins, by what factor, and where crossovers fall.
+package cluster
+
+// Device identifies the processor a charge is billed to.
+type Device int
+
+const (
+	// GPU bills charges at accelerator rates (default for ranks).
+	GPU Device = iota
+	// CPU bills charges at host processor rates, used by the
+	// CPU-reference baselines and by UVA-style sampling.
+	CPU
+)
+
+// Link identifies an interconnect tier.
+type Link int
+
+const (
+	// IntraNode is the NVLink tier between GPUs on one node.
+	IntraNode Link = iota
+	// InterNode is the NIC tier between nodes.
+	InterNode
+	// HostLink is the PCIe tier between a GPU and host memory, paid by
+	// UVA sampling and CPU-to-GPU sample transfers.
+	HostLink
+)
+
+// CostModel holds the α–β link parameters and device throughputs that
+// convert operation counts and message sizes into simulated seconds.
+//
+// All rates are "effective" (achieved, not peak) figures.
+type CostModel struct {
+	GPUsPerNode int
+
+	// Latency (seconds per message) and inverse bandwidth (seconds per
+	// byte) per link tier.
+	Alpha [3]float64
+	Beta  [3]float64
+
+	// Effective throughput for irregular sparse/sampling work
+	// (operations per second) and dense floating point (flops per
+	// second), and memory bandwidth (bytes per second), per device.
+	SparseOps  [2]float64
+	DenseFlops [2]float64
+	MemBW      [2]float64
+
+	// KernelLaunch is the fixed overhead of one GPU kernel launch in
+	// seconds. It is what bulk sampling amortizes: sampling k batches
+	// in one call pays it once instead of k times.
+	KernelLaunch float64
+
+	// Stragglers maps rank ids to compute slowdown multipliers (e.g.
+	// {3: 2.0} makes rank 3 twice as slow). Bulk-synchronous schedules
+	// are bound by their slowest member; this knob quantifies that
+	// sensitivity. Nil means no stragglers.
+	Stragglers map[int]float64
+}
+
+// slowdown returns the compute multiplier for a rank (>= 1).
+func (m CostModel) slowdown(rank int) float64 {
+	if f, ok := m.Stragglers[rank]; ok && f > 1 {
+		return f
+	}
+	return 1
+}
+
+// Perlmutter returns a cost model calibrated to the evaluation platform
+// of Section 7.2: 4x NVIDIA A100 per node (NVLink 3.0 at 100 GB/s
+// unidirectional, 80 GB HBM at 1.55 TB/s), AMD EPYC 7763 host, and
+// 4x HPE Slingshot-11 NICs at 25 GB/s injection bandwidth.
+func Perlmutter() CostModel {
+	return CostModel{
+		GPUsPerNode: 4,
+		Alpha: [3]float64{
+			IntraNode: 4e-6,  // NVLink message latency
+			InterNode: 10e-6, // network latency incl. NCCL stack
+			HostLink:  8e-6,  // PCIe transaction latency
+		},
+		Beta: [3]float64{
+			IntraNode: 1.0 / 100e9, // 100 GB/s NVLink 3.0
+			InterNode: 1.0 / 25e9,  // 25 GB/s Slingshot-11
+			HostLink:  1.0 / 20e9,  // ~20 GB/s effective PCIe 4.0
+		},
+		SparseOps: [2]float64{
+			GPU: 2.0e10, // irregular SpGEMM/sampling throughput on A100
+			CPU: 6.0e8,  // single-socket host, latency-bound gathers
+		},
+		DenseFlops: [2]float64{
+			GPU: 1.0e13, // achieved fp32 GEMM fraction of 19.5 TF peak
+			CPU: 1.5e11,
+		},
+		MemBW: [2]float64{
+			GPU: 1.2e12, // achieved fraction of 1.55 TB/s HBM
+			CPU: 1.5e11,
+		},
+		KernelLaunch: 10e-6,
+	}
+}
+
+// Workstation returns a cost model for a single PCIe-attached
+// multi-GPU workstation: no NVLink (GPUs talk through host PCIe), no
+// network tier in practice (all ranks on one node), consumer-grade
+// device rates. Used for cost-model sensitivity analysis: conclusions
+// that hold under both Perlmutter and Workstation are robust to the
+// machine, those that do not are artifacts of the interconnect.
+func Workstation() CostModel {
+	return CostModel{
+		GPUsPerNode: 8, // all ranks share the host
+		Alpha: [3]float64{
+			IntraNode: 10e-6, // PCIe peer latency
+			InterNode: 50e-6, // (unused in-node, but defined)
+			HostLink:  10e-6,
+		},
+		Beta: [3]float64{
+			IntraNode: 1.0 / 12e9, // PCIe 3.0 x16 effective
+			InterNode: 1.0 / 1e9,  // commodity 10 GbE
+			HostLink:  1.0 / 10e9,
+		},
+		SparseOps: [2]float64{
+			GPU: 6.0e9,
+			CPU: 3.0e8,
+		},
+		DenseFlops: [2]float64{
+			GPU: 2.0e12,
+			CPU: 8.0e10,
+		},
+		MemBW: [2]float64{
+			GPU: 4.0e11,
+			CPU: 8.0e10,
+		},
+		KernelLaunch: 12e-6,
+	}
+}
+
+// node returns the node index hosting the given global rank.
+func (m CostModel) node(rank int) int {
+	if m.GPUsPerNode <= 0 {
+		return 0
+	}
+	return rank / m.GPUsPerNode
+}
+
+// linkBetween returns the interconnect tier connecting two ranks.
+func (m CostModel) linkBetween(a, b int) Link {
+	if m.node(a) == m.node(b) {
+		return IntraNode
+	}
+	return InterNode
+}
+
+// worstLink returns the slowest tier among all pairs of the given
+// ranks: collectives spanning nodes run at network speed.
+func (m CostModel) worstLink(ranks []int) Link {
+	if len(ranks) < 2 {
+		return IntraNode
+	}
+	first := m.node(ranks[0])
+	for _, r := range ranks[1:] {
+		if m.node(r) != first {
+			return InterNode
+		}
+	}
+	return IntraNode
+}

@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+)
+
+// mailbox implements matched point-to-point sends and receives between
+// ranks, keyed by (src, dst, tag). Send blocks until the matching
+// Recv arrives (rendezvous semantics, like MPI_Ssend), which keeps the
+// simulated clocks honest: both sides leave at max(entry) + α + β·n.
+type mailbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	slots map[mailKey]*mailSlot
+}
+
+type mailKey struct {
+	src, dst, tag int
+}
+
+type mailSlot struct {
+	val       any
+	bytes     int
+	sendClock float64
+	hasData   bool
+	recvClock float64
+	hasRecv   bool
+	done      float64
+	completed bool
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{slots: map[mailKey]*mailSlot{}}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (c *Cluster) mailboxInstance() *mailbox {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.mail == nil {
+		c.mail = newMailbox()
+	}
+	return c.mail
+}
+
+// Send delivers val to rank dst under the given tag, blocking until
+// the receiver posts the matching Recv. bytes sizes the payload for
+// the cost model; the link tier is derived from the endpoints.
+func Send[T any](c *Cluster, r *Rank, dst, tag int, val T, bytes int) {
+	if dst < 0 || dst >= c.N {
+		panic(fmt.Sprintf("cluster: Send to rank %d of %d", dst, c.N))
+	}
+	if dst == r.ID {
+		panic("cluster: Send to self; use a local variable")
+	}
+	mb := c.mailboxInstance()
+	key := mailKey{src: r.ID, dst: dst, tag: tag}
+	link := c.Model.linkBetween(r.ID, dst)
+	cost := c.Model.Alpha[link] + float64(bytes)*c.Model.Beta[link]
+
+	mb.mu.Lock()
+	slot := mb.slots[key]
+	if slot == nil {
+		slot = &mailSlot{}
+		mb.slots[key] = slot
+	}
+	if slot.hasData {
+		panic(fmt.Sprintf("cluster: duplicate Send for %+v", key))
+	}
+	slot.val = val
+	slot.bytes = bytes
+	slot.sendClock = r.clock
+	slot.hasData = true
+	mb.cond.Broadcast()
+	for !slot.hasRecv {
+		mb.cond.Wait()
+	}
+	entry := slot.sendClock
+	if slot.recvClock > entry {
+		entry = slot.recvClock
+	}
+	slot.done = entry + cost
+	slot.completed = true
+	mb.cond.Broadcast()
+	done := slot.done
+	mb.mu.Unlock()
+
+	r.countOp("send", int64(bytes))
+	if done > r.clock {
+		r.advance(done-r.clock, true)
+	}
+}
+
+// Recv blocks until the matching Send from src under tag arrives and
+// returns its value.
+func Recv[T any](c *Cluster, r *Rank, src, tag int) T {
+	mb := c.mailboxInstance()
+	key := mailKey{src: src, dst: r.ID, tag: tag}
+
+	mb.mu.Lock()
+	slot := mb.slots[key]
+	if slot == nil {
+		slot = &mailSlot{}
+		mb.slots[key] = slot
+	}
+	if slot.hasRecv {
+		panic(fmt.Sprintf("cluster: duplicate Recv for %+v", key))
+	}
+	slot.recvClock = r.clock
+	slot.hasRecv = true
+	mb.cond.Broadcast()
+	for !slot.completed {
+		mb.cond.Wait()
+	}
+	val := slot.val.(T)
+	done := slot.done
+	delete(mb.slots, key)
+	mb.mu.Unlock()
+
+	if done > r.clock {
+		r.advance(done-r.clock, true)
+	}
+	return val
+}

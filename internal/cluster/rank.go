@@ -1,0 +1,290 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Rank is one simulated device (a "GPU") executing the per-process body
+// of a distributed program. It owns a simulated clock that advances
+// when compute is charged or when a collective completes, and a set of
+// named phase buckets so experiments can report the same time
+// breakdowns as the paper's figures (sampling / feature fetching /
+// propagation, probability / sampling / extraction, comm / comp).
+type Rank struct {
+	ID, N int
+
+	model *CostModel
+
+	clock float64
+	// phases is a stack: charges accrue to every level, so an outer
+	// phase ("sampling") can subsume the detailed phases a nested
+	// driver sets ("probability"/"sampling"/"extraction"). SetPhase
+	// replaces the top level; Push/PopPhase manage nesting.
+	phases []string
+
+	phaseTotal map[string]float64 // phase -> total simulated seconds
+	phaseComm  map[string]float64 // phase -> communication part
+	bytesSent  int64
+	opCount    map[string]int64 // collective name -> invocations
+	opBytes    map[string]int64 // collective name -> bytes sent
+}
+
+// countOp records one collective invocation and its sent bytes under
+// the operation name (for traffic breakdowns).
+func (r *Rank) countOp(name string, bytes int64) {
+	r.opCount[name]++
+	r.opBytes[name] += bytes
+	r.bytesSent += bytes
+}
+
+// SetPhase switches the bucket subsequent charges accrue to (replaces
+// the top of the phase stack).
+func (r *Rank) SetPhase(name string) { r.phases[len(r.phases)-1] = name }
+
+// PushPhase opens a nested phase level. Charges accrue to all levels.
+func (r *Rank) PushPhase(name string) { r.phases = append(r.phases, name) }
+
+// PopPhase closes the innermost phase level.
+func (r *Rank) PopPhase() {
+	if len(r.phases) == 1 {
+		panic("cluster: PopPhase on base level")
+	}
+	r.phases = r.phases[:len(r.phases)-1]
+}
+
+// Phase returns the current (innermost) phase name.
+func (r *Rank) Phase() string { return r.phases[len(r.phases)-1] }
+
+// Clock returns the rank's simulated time in seconds.
+func (r *Rank) Clock() float64 { return r.clock }
+
+// advance adds dt simulated seconds to the clock and every phase on
+// the stack; comm marks the time as communication.
+func (r *Rank) advance(dt float64, comm bool) {
+	if dt < 0 || math.IsNaN(dt) {
+		panic(fmt.Sprintf("cluster: negative or NaN time advance %v", dt))
+	}
+	r.clock += dt
+	for i, name := range r.phases {
+		dup := false
+		for _, prev := range r.phases[:i] {
+			if prev == name {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		r.phaseTotal[name] += dt
+		if comm {
+			r.phaseComm[name] += dt
+		}
+	}
+}
+
+// ChargeSparse bills ops irregular operations (SpGEMM multiply-adds,
+// sampling draws, gathers) at the GPU sparse throughput.
+func (r *Rank) ChargeSparse(ops int64) { r.ChargeSparseOn(GPU, ops) }
+
+// ChargeSparseOn bills irregular operations on the given device.
+func (r *Rank) ChargeSparseOn(d Device, ops int64) {
+	r.advance(float64(ops)/r.model.SparseOps[d]*r.model.slowdown(r.ID), false)
+}
+
+// ChargeDense bills flops dense multiply-add pairs at GPU dense
+// throughput.
+func (r *Rank) ChargeDense(flops int64) { r.ChargeDenseOn(GPU, flops) }
+
+// ChargeDenseOn bills dense flops on the given device.
+func (r *Rank) ChargeDenseOn(d Device, flops int64) {
+	r.advance(float64(flops)/r.model.DenseFlops[d]*r.model.slowdown(r.ID), false)
+}
+
+// ChargeMem bills a streaming memory traffic of the given bytes at GPU
+// memory bandwidth.
+func (r *Rank) ChargeMem(bytes int64) { r.ChargeMemOn(GPU, bytes) }
+
+// ChargeMemOn bills memory traffic on the given device.
+func (r *Rank) ChargeMemOn(d Device, bytes int64) {
+	r.advance(float64(bytes)/r.model.MemBW[d]*r.model.slowdown(r.ID), false)
+}
+
+// ChargeKernels bills n fixed kernel-launch overheads. Per-minibatch
+// sampling pays O(layers) of these per batch; bulk sampling pays
+// O(layers) per k batches — the amortization at the heart of the
+// paper's Section 4.
+func (r *Rank) ChargeKernels(n int) {
+	r.advance(float64(n)*r.model.KernelLaunch, false)
+}
+
+// ChargeLink bills a point transfer of the given bytes over the given
+// tier, e.g. PCIe traffic for UVA sampling. Counted as communication.
+func (r *Rank) ChargeLink(l Link, bytes int64) {
+	r.advance(r.model.Alpha[l]+float64(bytes)*r.model.Beta[l], true)
+}
+
+// Stats is an immutable snapshot of a rank's accounting.
+type Stats struct {
+	Clock      float64
+	PhaseTotal map[string]float64
+	PhaseComm  map[string]float64
+	BytesSent  int64
+	// OpCount and OpBytes break communication down by collective.
+	OpCount map[string]int64
+	OpBytes map[string]int64
+}
+
+func (r *Rank) stats() Stats {
+	pt := make(map[string]float64, len(r.phaseTotal))
+	for k, v := range r.phaseTotal {
+		pt[k] = v
+	}
+	pc := make(map[string]float64, len(r.phaseComm))
+	for k, v := range r.phaseComm {
+		pc[k] = v
+	}
+	oc := make(map[string]int64, len(r.opCount))
+	for k, v := range r.opCount {
+		oc[k] = v
+	}
+	ob := make(map[string]int64, len(r.opBytes))
+	for k, v := range r.opBytes {
+		ob[k] = v
+	}
+	return Stats{Clock: r.clock, PhaseTotal: pt, PhaseComm: pc, BytesSent: r.bytesSent,
+		OpCount: oc, OpBytes: ob}
+}
+
+// Result summarizes a simulated run.
+type Result struct {
+	// SimTime is the bulk-synchronous makespan: the maximum final
+	// simulated clock across ranks.
+	SimTime float64
+	// Ranks holds per-rank accounting indexed by rank id.
+	Ranks []Stats
+}
+
+// Phase returns the maximum time any rank spent in the named phase.
+func (res *Result) Phase(name string) float64 {
+	max := 0.0
+	for _, s := range res.Ranks {
+		if v := s.PhaseTotal[name]; v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// PhaseComm returns the maximum communication time any rank spent in
+// the named phase.
+func (res *Result) PhaseComm(name string) float64 {
+	max := 0.0
+	for _, s := range res.Ranks {
+		if v := s.PhaseComm[name]; v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Phases returns the sorted names of all phases observed.
+func (res *Result) Phases() []string {
+	set := map[string]struct{}{}
+	for _, s := range res.Ranks {
+		for k := range s.PhaseTotal {
+			set[k] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Cluster is a set of ranks sharing a cost model. Communicators are
+// created from the cluster before Run and shared by all ranks.
+type Cluster struct {
+	N     int
+	Model CostModel
+
+	mu    sync.Mutex
+	comms []*Comm
+	mail  *mailbox
+}
+
+// New returns a cluster of n ranks under the given cost model.
+func New(n int, model CostModel) *Cluster {
+	if n <= 0 {
+		panic("cluster: need at least one rank")
+	}
+	return &Cluster{N: n, Model: model}
+}
+
+// Run executes body once per rank concurrently and returns per-rank
+// accounting. Ranks must all reach every collective they participate
+// in; an error return from one rank while peers wait inside a
+// collective deadlocks (like real MPI), so bodies should return errors
+// only at synchronized points.
+func (c *Cluster) Run(body func(r *Rank) error) (*Result, error) {
+	ranks := make([]*Rank, c.N)
+	for i := range ranks {
+		ranks[i] = &Rank{
+			ID:         i,
+			N:          c.N,
+			model:      &c.Model,
+			phases:     []string{"default"},
+			phaseTotal: map[string]float64{},
+			phaseComm:  map[string]float64{},
+			opCount:    map[string]int64{},
+			opBytes:    map[string]int64{},
+		}
+	}
+	errs := make([]error, c.N)
+	var wg sync.WaitGroup
+	for i := 0; i < c.N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = body(ranks[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	res := &Result{Ranks: make([]Stats, c.N)}
+	for i, r := range ranks {
+		res.Ranks[i] = r.stats()
+		if r.clock > res.SimTime {
+			res.SimTime = r.clock
+		}
+	}
+	return res, nil
+}
+
+// SparseSeconds converts an irregular-op count into simulated seconds
+// at this rank's GPU rate without advancing the clock. Used by
+// schedulers that overlap work streams and need to reason about a
+// charge before (or instead of) applying it.
+func (r *Rank) SparseSeconds(ops int64) float64 {
+	return float64(ops) / r.model.SparseOps[GPU] * r.model.slowdown(r.ID)
+}
+
+// KernelSeconds converts kernel-launch counts into simulated seconds
+// without advancing the clock.
+func (r *Rank) KernelSeconds(n int) float64 {
+	return float64(n) * r.model.KernelLaunch
+}
+
+// AdvanceBy adds dt simulated seconds to the clock under the current
+// phase (compute, not communication). It is the escape hatch for
+// schedulers that compute durations out-of-band; dt must be >= 0.
+func (r *Rank) AdvanceBy(dt float64) { r.advance(dt, false) }

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/sparse"
+)
+
+// ClusterGCN is a graph-wise sampler in the matrix framework — the
+// third sampler taxonomy of Section 2.2, which the paper leaves to
+// future work ("we hope to express additional sampling algorithms in
+// this framework"). Vertices are pre-partitioned into clusters; a
+// minibatch is the union of a few clusters and its sample is the
+// induced subgraph, expressed as the row-and-column extraction
+// A_S = Q_R · A · Q_C with Q_R = Q_C^T selecting the batch vertices.
+//
+// Unlike node- and layer-wise samplers the frontier never grows: every
+// GNN layer reuses the same induced adjacency, so Step returns a
+// LayerSample whose column frontier equals its row frontier.
+type ClusterGCN struct {
+	// Assign maps vertex -> cluster id.
+	Assign []int
+	// Clusters lists each cluster's vertices (sorted).
+	Clusters [][]int
+}
+
+// NewClusterGCN partitions the graph into numClusters clusters with a
+// BFS-flavoured sweep: vertices reached from a frontier join the
+// current cluster until it is full, which keeps clusters locally dense
+// (the property ClusterGCN's sampling quality depends on).
+func NewClusterGCN(adj *sparse.CSR, numClusters int, seed int64) *ClusterGCN {
+	n := adj.Rows
+	if numClusters <= 0 || numClusters > n {
+		panic("core: cluster count must be in [1, n]")
+	}
+	target := (n + numClusters - 1) / numClusters
+	rng := rand.New(rand.NewSource(seed))
+
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	order := rng.Perm(n)
+	cur := 0
+	size := 0
+	var queue []int
+	pop := func() (int, bool) {
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			if assign[v] == -1 {
+				return v, true
+			}
+		}
+		return 0, false
+	}
+	next := 0 // cursor into order for restarts
+	for placed := 0; placed < n; placed++ {
+		v, ok := pop()
+		if !ok {
+			for next < n && assign[order[next]] != -1 {
+				next++
+			}
+			v = order[next]
+		}
+		assign[v] = cur
+		size++
+		cols, _ := adj.Row(v)
+		queue = append(queue, cols...)
+		if size >= target && cur < numClusters-1 {
+			cur++
+			size = 0
+			queue = queue[:0]
+		}
+	}
+
+	clusters := make([][]int, numClusters)
+	for v, c := range assign {
+		clusters[c] = append(clusters[c], v)
+	}
+	for _, c := range clusters {
+		sort.Ints(c)
+	}
+	return &ClusterGCN{Assign: assign, Clusters: clusters}
+}
+
+// Name implements Sampler.
+func (*ClusterGCN) Name() string { return "ClusterGCN" }
+
+// Batches groups clusters into k minibatches (clusters per batch =
+// ceil(numClusters / k)), shuffled by seed — the per-epoch batch
+// construction of graph-wise training.
+func (cg *ClusterGCN) Batches(k int, seed int64) [][]int {
+	rng := rand.New(rand.NewSource(seed))
+	idx := rng.Perm(len(cg.Clusters))
+	if k <= 0 {
+		k = 1
+	}
+	if k > len(idx) {
+		k = len(idx)
+	}
+	per := (len(idx) + k - 1) / k
+	var out [][]int
+	for lo := 0; lo < len(idx); lo += per {
+		hi := lo + per
+		if hi > len(idx) {
+			hi = len(idx)
+		}
+		var batch []int
+		for _, ci := range idx[lo:hi] {
+			batch = append(batch, cg.Clusters[ci]...)
+		}
+		sort.Ints(batch)
+		out = append(out, batch)
+	}
+	return out
+}
+
+// Step extracts each batch's induced subgraph. The fanout s and seed
+// are unused: graph-wise sampling is deterministic given the batch.
+func (cg *ClusterGCN) Step(a *sparse.CSR, cur *Frontier, s int, seed int64) (*LayerSample, Cost) {
+	var cost Cost
+	k := cur.K()
+	adj := &sparse.CSR{Rows: cur.Len(), Cols: cur.Len(), RowPtr: make([]int, cur.Len()+1)}
+	for b := 0; b < k; b++ {
+		verts := cur.Batch(b)
+		base := cur.BatchPtr[b]
+		pos := make(map[int]int, len(verts))
+		for j, v := range verts {
+			pos[v] = j
+		}
+		// Row extraction (Q_R·A) then column selection (·Q_C): keep
+		// only edges internal to the batch.
+		for i, v := range verts {
+			cols, vals := a.Row(v)
+			for t, c := range cols {
+				if j, ok := pos[c]; ok {
+					adj.ColIdx = append(adj.ColIdx, base+j)
+					adj.Val = append(adj.Val, vals[t])
+				}
+			}
+			cost.ExtractOps += int64(len(cols))
+			adj.RowPtr[base+i+1] = len(adj.ColIdx)
+		}
+	}
+	cost.Kernels += 2
+	// The column frontier IS the row frontier: self prefix with no
+	// sampled extension.
+	return &LayerSample{Adj: adj, Rows: cur, Cols: cur}, cost
+}

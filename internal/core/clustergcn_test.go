@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestClusterGCNPartitionCoversAllVertices(t *testing.T) {
+	a := testGraph(200, 8, 41)
+	cg := NewClusterGCN(a, 8, 1)
+	if len(cg.Clusters) != 8 {
+		t.Fatalf("clusters = %d", len(cg.Clusters))
+	}
+	seen := make([]bool, 200)
+	for ci, cluster := range cg.Clusters {
+		for _, v := range cluster {
+			if seen[v] {
+				t.Fatalf("vertex %d in two clusters", v)
+			}
+			seen[v] = true
+			if cg.Assign[v] != ci {
+				t.Fatalf("assignment inconsistent for %d", v)
+			}
+		}
+	}
+	for v, s := range seen {
+		if !s {
+			t.Fatalf("vertex %d unassigned", v)
+		}
+	}
+}
+
+func TestClusterGCNClustersBalanced(t *testing.T) {
+	a := testGraph(256, 8, 42)
+	cg := NewClusterGCN(a, 8, 2)
+	for ci, cluster := range cg.Clusters {
+		if len(cluster) == 0 {
+			t.Fatalf("cluster %d empty", ci)
+		}
+		if len(cluster) > 2*256/8 {
+			t.Fatalf("cluster %d oversized: %d", ci, len(cluster))
+		}
+	}
+}
+
+func TestClusterGCNBatches(t *testing.T) {
+	a := testGraph(120, 8, 43)
+	cg := NewClusterGCN(a, 6, 3)
+	batches := cg.Batches(3, 7)
+	if len(batches) != 3 {
+		t.Fatalf("batches = %d", len(batches))
+	}
+	total := 0
+	for _, b := range batches {
+		total += len(b)
+	}
+	if total != 120 {
+		t.Fatalf("batches cover %d of 120", total)
+	}
+}
+
+func TestClusterGCNStepInducedSubgraph(t *testing.T) {
+	a := testGraph(100, 10, 44)
+	cg := NewClusterGCN(a, 4, 4)
+	batches := cg.Batches(2, 9)
+	bs := SampleBulk(cg, a, batches, []int{0, 0}, 11)
+	if err := bs.Validate(a.Rows); err != nil {
+		t.Fatal(err)
+	}
+	for _, ls := range bs.Layers {
+		// Frontier never grows.
+		if ls.Cols.Len() != ls.Rows.Len() {
+			t.Fatal("graph-wise frontier grew")
+		}
+		// Every retained edge exists; every internal edge is retained.
+		for b := 0; b < ls.Rows.K(); b++ {
+			verts := ls.Rows.Batch(b)
+			inBatch := map[int]int{}
+			for j, v := range verts {
+				inBatch[v] = j
+			}
+			for i, u := range verts {
+				row := ls.Rows.BatchPtr[b] + i
+				cols, _ := ls.Adj.Row(row)
+				got := map[int]bool{}
+				for _, c := range cols {
+					got[ls.Cols.Vertices[c]] = true
+				}
+				acols, _ := a.Row(u)
+				for _, v := range acols {
+					if _, ok := inBatch[v]; ok && !got[v] {
+						t.Fatalf("internal edge (%d,%d) dropped", u, v)
+					}
+					if _, ok := inBatch[v]; !ok && got[v] {
+						t.Fatalf("external edge (%d,%d) kept", u, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestClusterGCNLocality(t *testing.T) {
+	// BFS-grown clusters on a community graph should keep more edges
+	// internal than random assignment would (1/numClusters).
+	a := testGraph(400, 10, 45)
+	cg := NewClusterGCN(a, 8, 5)
+	internal, total := 0, 0
+	for u := 0; u < a.Rows; u++ {
+		cols, _ := a.Row(u)
+		for _, v := range cols {
+			total++
+			if cg.Assign[u] == cg.Assign[v] {
+				internal++
+			}
+		}
+	}
+	frac := float64(internal) / float64(total)
+	if frac <= 1.0/8 {
+		t.Fatalf("BFS clustering no better than random: internal fraction %.3f", frac)
+	}
+}
+
+func TestClusterGCNName(t *testing.T) {
+	if (&ClusterGCN{}).Name() != "ClusterGCN" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestClusterGCNBadCountPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero clusters")
+		}
+	}()
+	NewClusterGCN(testGraph(10, 3, 46), 0, 1)
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// ITS implements inverse transform sampling of s distinct entries per
+// probability row (Section 2.3 and 4.1.2 of the paper): run a prefix
+// sum over the row's weights, draw uniform variates, and binary-search
+// each draw into the prefix sum; repeat until s distinct columns are
+// selected.
+//
+// A bounded number of redraws guards against pathological rows (a few
+// entries holding nearly all mass); past the bound, sampling falls
+// back to exponential-key weighted reservoir selection (Efraimidis &
+// Sanders-style), which is draw-exact without replacement.
+
+// SampleRowITS selects min(s, len(cols)) distinct indices into cols
+// with probability proportional to weights, without replacement.
+// It returns the selected positions (sorted) and the number of
+// elementary operations performed (for cost accounting).
+func SampleRowITS(weights []float64, s int, rng *rand.Rand) (picks []int, ops int64) {
+	nnz := len(weights)
+	if nnz == 0 || s <= 0 {
+		return nil, 0
+	}
+	if nnz <= s {
+		picks = make([]int, nnz)
+		for i := range picks {
+			picks[i] = i
+		}
+		return picks, int64(nnz)
+	}
+
+	// Prefix sum.
+	prefix := make([]float64, nnz+1)
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic("core: negative or NaN sampling weight")
+		}
+		prefix[i+1] = prefix[i] + w
+	}
+	ops += int64(nnz)
+	total := prefix[nnz]
+	if total == 0 {
+		return nil, ops
+	}
+
+	chosen := make(map[int]struct{}, s)
+	maxTries := 8*s + 32
+	tries := 0
+	for len(chosen) < s && tries < maxTries {
+		tries++
+		u := rng.Float64() * total
+		// Find the first prefix boundary exceeding u.
+		idx := sort.SearchFloat64s(prefix[1:], u)
+		if idx >= nnz {
+			idx = nnz - 1
+		}
+		// Skip zero-weight entries that a boundary draw can land on.
+		if weights[idx] == 0 {
+			continue
+		}
+		ops += int64(math.Ilogb(float64(nnz))) + 1
+		chosen[idx] = struct{}{}
+	}
+
+	if len(chosen) < s {
+		// Fallback: exponential-key weighted order statistics. Exact
+		// without-replacement semantics at O(nnz log nnz).
+		type keyed struct {
+			key float64
+			idx int
+		}
+		ks := make([]keyed, 0, nnz)
+		for i, w := range weights {
+			if w <= 0 {
+				continue
+			}
+			ks = append(ks, keyed{key: -math.Log(rng.Float64()) / w, idx: i})
+		}
+		sort.Slice(ks, func(a, b int) bool { return ks[a].key < ks[b].key })
+		ops += int64(len(ks)) * 2
+		for _, kv := range ks {
+			if len(chosen) == s {
+				break
+			}
+			chosen[kv.idx] = struct{}{}
+		}
+	}
+
+	picks = make([]int, 0, len(chosen))
+	for i := range chosen {
+		picks = append(picks, i)
+	}
+	sort.Ints(picks)
+	return picks, ops
+}
+
+// rowSeed derives a per-row RNG seed so sampling is deterministic
+// regardless of the order or parallelism in which rows are processed.
+func rowSeed(seed int64, row int) int64 {
+	z := uint64(seed) + uint64(row)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z & 0x7FFFFFFFFFFFFFFF)
+}
+
+// NewRowRNG returns the deterministic RNG for the given (seed, row).
+func NewRowRNG(seed int64, row int) *rand.Rand {
+	return rand.New(rand.NewSource(rowSeed(seed, row)))
+}
+
+// SampleRowITSReplacement draws s indices with replacement — the
+// variant some frameworks use when a vertex's degree is below the
+// fanout. Returned indices may repeat and preserve draw order.
+func SampleRowITSReplacement(weights []float64, s int, rng *rand.Rand) (picks []int, ops int64) {
+	nnz := len(weights)
+	if nnz == 0 || s <= 0 {
+		return nil, 0
+	}
+	prefix := make([]float64, nnz+1)
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic("core: negative or NaN sampling weight")
+		}
+		prefix[i+1] = prefix[i] + w
+	}
+	ops += int64(nnz)
+	total := prefix[nnz]
+	if total == 0 {
+		return nil, ops
+	}
+	picks = make([]int, 0, s)
+	for len(picks) < s {
+		u := rng.Float64() * total
+		idx := sort.SearchFloat64s(prefix[1:], u)
+		if idx >= nnz {
+			idx = nnz - 1
+		}
+		if weights[idx] == 0 {
+			continue
+		}
+		picks = append(picks, idx)
+		ops += int64(math.Ilogb(float64(nnz))) + 1
+	}
+	return picks, ops
+}

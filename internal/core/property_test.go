@@ -1,0 +1,163 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+// randomScenario builds a random graph and random batches from a quick
+// seed.
+func randomScenario(seed int64) (adj *randGraphAdj, batches [][]int, fanouts []int) {
+	rng := rand.New(rand.NewSource(seed))
+	n := 30 + rng.Intn(120)
+	deg := 4 + rng.Float64()*8
+	g := graph.EnsureMinOutDegree(graph.ErdosRenyi(n, deg, seed), 3, seed+1)
+	k := 1 + rng.Intn(4)
+	b := 1 + rng.Intn(6)
+	batches = make([][]int, k)
+	for i := range batches {
+		batch := make([]int, b)
+		for j := range batch {
+			batch[j] = rng.Intn(n)
+		}
+		batches[i] = batch
+	}
+	layers := 1 + rng.Intn(2)
+	fanouts = make([]int, layers)
+	for i := range fanouts {
+		fanouts[i] = 2 + rng.Intn(4)
+	}
+	return &randGraphAdj{g: g}, batches, fanouts
+}
+
+type randGraphAdj struct{ g *graph.Graph }
+
+func TestPropertySAGEStructuralInvariants(t *testing.T) {
+	check := func(seed int64) bool {
+		adj, batches, fanouts := randomScenario(seed)
+		bs := SampleBulk(SAGE{}, adj.g.Adj, batches, fanouts, seed)
+		if bs.Validate(adj.g.NumVertices()) != nil {
+			return false
+		}
+		// Every sampled edge exists; no row oversamples its fanout.
+		for li, ls := range bs.Layers {
+			for i := 0; i < ls.Adj.Rows; i++ {
+				if ls.Adj.RowNNZ(i) > fanouts[li] {
+					return false
+				}
+				u := ls.Rows.Vertices[i]
+				cols, _ := ls.Adj.Row(i)
+				for _, c := range cols {
+					if adj.g.Adj.At(u, ls.Cols.Vertices[c]) == 0 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyLADIESStructuralInvariants(t *testing.T) {
+	check := func(seed int64) bool {
+		adj, batches, fanouts := randomScenario(seed)
+		bs := SampleBulk(LADIES{}, adj.g.Adj, batches, fanouts, seed)
+		if bs.Validate(adj.g.NumVertices()) != nil {
+			return false
+		}
+		for li, ls := range bs.Layers {
+			// Per batch: sampled set size bounded by s and distinct.
+			for b := 0; b < ls.Rows.K(); b++ {
+				rb, cb := ls.Rows.Batch(b), ls.Cols.Batch(b)
+				sampled := cb[len(rb):]
+				if len(sampled) > fanouts[li] {
+					return false
+				}
+				seen := map[int]struct{}{}
+				for _, v := range sampled {
+					if _, dup := seen[v]; dup {
+						return false
+					}
+					seen[v] = struct{}{}
+				}
+			}
+			// Sampled edges all exist in the graph.
+			for i := 0; i < ls.Adj.Rows; i++ {
+				u := ls.Rows.Vertices[i]
+				cols, _ := ls.Adj.Row(i)
+				for _, c := range cols {
+					if adj.g.Adj.At(u, ls.Cols.Vertices[c]) == 0 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyFastGCNStructuralInvariants(t *testing.T) {
+	check := func(seed int64) bool {
+		adj, batches, fanouts := randomScenario(seed)
+		bs := SampleBulk(FastGCN{}, adj.g.Adj, batches, fanouts, seed)
+		return bs.Validate(adj.g.NumVertices()) == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyExtractBatchPartitionsBulk(t *testing.T) {
+	// The per-batch extraction must partition the bulk: total edges
+	// across extracted batches equals the bulk adjacency edge count,
+	// layer by layer.
+	check := func(seed int64) bool {
+		adj, batches, fanouts := randomScenario(seed)
+		bs := SampleBulk(SAGE{}, adj.g.Adj, batches, fanouts, seed)
+		for li := range bs.Layers {
+			total := 0
+			for b := range batches {
+				bg := bs.ExtractBatch(b)
+				total += bg.Adjs[li].NNZ()
+			}
+			if total != bs.Layers[li].Adj.NNZ() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyBulkFrontierSizesAdditive(t *testing.T) {
+	// The stacked frontier is exactly the concatenation of per-batch
+	// frontiers: lengths add up and batch pointers are consistent.
+	check := func(seed int64) bool {
+		adj, batches, fanouts := randomScenario(seed)
+		bs := SampleBulk(SAGE{}, adj.g.Adj, batches, fanouts, seed)
+		for _, ls := range bs.Layers {
+			sum := 0
+			for b := 0; b < ls.Cols.K(); b++ {
+				sum += len(ls.Cols.Batch(b))
+			}
+			if sum != ls.Cols.Len() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"repro/internal/sparse"
+)
+
+// SAGE is the node-wise GraphSAGE sampler (Section 4.1): each frontier
+// vertex samples s of its neighbors uniformly at random.
+type SAGE struct{}
+
+// Name implements Sampler.
+func (SAGE) Name() string { return "GraphSAGE" }
+
+// BuildQ constructs the stacked sampler matrix Q^l for node-wise
+// sampling: one row per frontier vertex with a single unit entry in
+// that vertex's column (Section 4.1.1).
+func (SAGE) BuildQ(cur *Frontier, n int) *sparse.CSR {
+	m := cur.Len()
+	q := &sparse.CSR{
+		Rows:   m,
+		Cols:   n,
+		RowPtr: make([]int, m+1),
+		ColIdx: make([]int, m),
+		Val:    make([]float64, m),
+	}
+	for i, v := range cur.Vertices {
+		q.RowPtr[i+1] = i + 1
+		q.ColIdx[i] = v
+		q.Val[i] = 1
+	}
+	return q
+}
+
+// Norm row-normalizes P so each row is the uniform distribution over
+// the vertex's neighbors (each nonzero becomes 1/|N(v)|).
+func (SAGE) Norm(p *sparse.CSR) { p.NormalizeRows() }
+
+// Step performs one bulk GraphSAGE layer: P ← Q·A, NORM, ITS sampling
+// of s neighbors per row, and extraction by column compaction
+// (Sections 4.1.1–4.1.4).
+func (sg SAGE) Step(a *sparse.CSR, cur *Frontier, s int, seed int64) (*LayerSample, Cost) {
+	var cost Cost
+	q := sg.BuildQ(cur, a.Cols)
+	p, flops := sparse.SpGEMM(q, a)
+	cost.ProbFlops += flops
+	cost.Kernels += 2 // Q construction, SpGEMM
+	ls, c2 := sg.FinishStep(p, cur, s, seed)
+	cost.Add(c2)
+	return ls, cost
+}
+
+// FinishStep completes a GraphSAGE layer given the raw probability
+// matrix P = Q·A: normalization, ITS sampling and extraction. The
+// distributed drivers call this after computing P with a distributed
+// SpGEMM (rows of P must align with cur's stacked frontier).
+func (sg SAGE) FinishStep(p *sparse.CSR, cur *Frontier, s int, seed int64) (*LayerSample, Cost) {
+	var cost Cost
+	sg.Norm(p)
+	cost.Kernels++
+
+	// SAMPLE: ITS per row. picks[i] holds the sampled global vertex
+	// ids of frontier row i, in row-sorted order.
+	picks := make([][]int, p.Rows)
+	for i := 0; i < p.Rows; i++ {
+		cols, vals := p.Row(i)
+		rng := NewRowRNG(seed, i)
+		sel, ops := SampleRowITS(vals, s, rng)
+		cost.SampleOps += ops
+		pk := make([]int, len(sel))
+		for j, t := range sel {
+			pk[j] = cols[t]
+		}
+		picks[i] = pk
+	}
+	cost.Kernels++
+
+	// EXTRACT: the sampled adjacency has one row per frontier vertex
+	// and columns "self frontier ++ sampled vertices" (empty columns
+	// already removed by construction — the compaction of Section
+	// 4.1.3 is implicit because only sampled vertices get columns).
+	k := cur.K()
+	next := &Frontier{BatchPtr: make([]int, k+1)}
+	adj := &sparse.CSR{Rows: cur.Len(), RowPtr: make([]int, cur.Len()+1)}
+
+	// First pass: build the next frontier (self prefix then sampled).
+	sampledStart := make([]int, cur.Len()) // column offset of row i's picks
+	colCursor := 0
+	for b := 0; b < k; b++ {
+		rb := cur.Batch(b)
+		next.Vertices = append(next.Vertices, rb...)
+		colCursor += len(rb)
+		for i := cur.BatchPtr[b]; i < cur.BatchPtr[b+1]; i++ {
+			sampledStart[i] = colCursor
+			colCursor += len(picks[i])
+			next.Vertices = append(next.Vertices, picks[i]...)
+		}
+		next.BatchPtr[b+1] = len(next.Vertices)
+	}
+	adj.Cols = colCursor
+	if colCursor != next.Len() {
+		panic("core: SAGE frontier bookkeeping out of sync")
+	}
+
+	// Second pass: fill rows. Row i's sampled columns are the
+	// consecutive range starting at sampledStart[i].
+	nnz := 0
+	for i := range picks {
+		nnz += len(picks[i])
+	}
+	adj.ColIdx = make([]int, 0, nnz)
+	adj.Val = make([]float64, 0, nnz)
+	for i := range picks {
+		for j := range picks[i] {
+			adj.ColIdx = append(adj.ColIdx, sampledStart[i]+j)
+			adj.Val = append(adj.Val, 1)
+		}
+		adj.RowPtr[i+1] = len(adj.ColIdx)
+	}
+	cost.ExtractOps += int64(nnz)
+	cost.Kernels++
+
+	return &LayerSample{Adj: adj, Rows: cur, Cols: next}, cost
+}

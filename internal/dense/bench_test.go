@@ -1,0 +1,58 @@
+package dense
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchMat(r, c int) *Matrix {
+	rng := rand.New(rand.NewSource(1))
+	m := New(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func BenchmarkMatMul(b *testing.B) {
+	x := benchMat(512, 64)
+	y := benchMat(64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(x, y)
+	}
+}
+
+func BenchmarkMatMulT(b *testing.B) {
+	x := benchMat(512, 64)
+	y := benchMat(64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulT(x, y)
+	}
+}
+
+func BenchmarkCrossEntropy(b *testing.B) {
+	logits := benchMat(1024, 47)
+	labels := make([]int, 1024)
+	for i := range labels {
+		labels[i] = i % 47
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CrossEntropy(logits, labels)
+	}
+}
+
+func BenchmarkAdamStep(b *testing.B) {
+	params := make([]float64, 100000)
+	grads := make([]float64, 100000)
+	for i := range grads {
+		grads[i] = 0.01
+	}
+	opt := NewAdam(0.01)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt.Step(params, grads)
+	}
+}

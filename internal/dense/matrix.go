@@ -1,0 +1,292 @@
+// Package dense provides the row-major dense matrix kernels used for
+// GNN forward and backward propagation: blocked parallel matrix
+// multiplication, elementwise activations, softmax cross-entropy, and
+// parameter initialization.
+package dense
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// Matrix is a row-major dense float64 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New returns a zeroed rows x cols matrix.
+func New(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps an existing row-major slice. The slice is not copied.
+func FromSlice(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("dense: FromSlice got %d values for %dx%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns the element at (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// RowView returns a view of row i; mutations are visible in m.
+func (m *Matrix) RowView(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	return &Matrix{Rows: m.Rows, Cols: m.Cols, Data: append([]float64(nil), m.Data...)}
+}
+
+// Bytes returns the payload size used by communication cost modeling.
+func (m *Matrix) Bytes() int { return 8 * len(m.Data) }
+
+// Zero sets all elements to zero.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// AddInPlace adds b elementwise into m.
+func (m *Matrix) AddInPlace(b *Matrix) {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		panic(fmt.Sprintf("dense: AddInPlace shape mismatch %dx%d vs %dx%d",
+			m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	for i := range m.Data {
+		m.Data[i] += b.Data[i]
+	}
+}
+
+// Scale multiplies every element by f.
+func (m *Matrix) Scale(f float64) {
+	for i := range m.Data {
+		m.Data[i] *= f
+	}
+}
+
+// MatMul computes C = A * B with a cache-blocked loop, parallelized
+// over row stripes of A. The returned flop count is multiply-add
+// pairs (A.Rows * A.Cols * B.Cols).
+func MatMul(a, b *Matrix) (*Matrix, int64) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("dense: MatMul dims %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := New(a.Rows, b.Cols)
+	parallelRows(a.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ci := c.Data[i*c.Cols : (i+1)*c.Cols]
+			ai := a.Data[i*a.Cols : (i+1)*a.Cols]
+			for k, av := range ai {
+				if av == 0 {
+					continue
+				}
+				bk := b.Data[k*b.Cols : (k+1)*b.Cols]
+				for j := range ci {
+					ci[j] += av * bk[j]
+				}
+			}
+		}
+	})
+	return c, int64(a.Rows) * int64(a.Cols) * int64(b.Cols)
+}
+
+// MatMulT computes C = A * B^T.
+func MatMulT(a, b *Matrix) (*Matrix, int64) {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("dense: MatMulT dims %dx%d * (%dx%d)^T", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := New(a.Rows, b.Rows)
+	parallelRows(a.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai := a.Data[i*a.Cols : (i+1)*a.Cols]
+			ci := c.Data[i*c.Cols : (i+1)*c.Cols]
+			for j := 0; j < b.Rows; j++ {
+				bj := b.Data[j*b.Cols : (j+1)*b.Cols]
+				s := 0.0
+				for k := range ai {
+					s += ai[k] * bj[k]
+				}
+				ci[j] = s
+			}
+		}
+	})
+	return c, int64(a.Rows) * int64(a.Cols) * int64(b.Rows)
+}
+
+// TMatMul computes C = A^T * B.
+func TMatMul(a, b *Matrix) (*Matrix, int64) {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("dense: TMatMul dims (%dx%d)^T * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := New(a.Cols, b.Cols)
+	// Serial accumulation: output is small (feature x feature) in GNN
+	// training, while a.Rows (the batch dimension) is large.
+	for i := 0; i < a.Rows; i++ {
+		ai := a.Data[i*a.Cols : (i+1)*a.Cols]
+		bi := b.Data[i*b.Cols : (i+1)*b.Cols]
+		for k, av := range ai {
+			if av == 0 {
+				continue
+			}
+			ck := c.Data[k*c.Cols : (k+1)*c.Cols]
+			for j := range bi {
+				ck[j] += av * bi[j]
+			}
+		}
+	}
+	return c, int64(a.Rows) * int64(a.Cols) * int64(b.Cols)
+}
+
+// parallelRows splits [0, rows) across GOMAXPROCS workers.
+func parallelRows(rows int, f func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > rows {
+		workers = rows
+	}
+	if workers <= 1 {
+		f(0, rows)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > rows {
+			hi = rows
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ReLU applies max(0, x) elementwise, returning a new matrix.
+func ReLU(m *Matrix) *Matrix {
+	out := m.Clone()
+	for i, v := range out.Data {
+		if v < 0 {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// ReLUGrad masks grad by the positivity of pre-activation z:
+// out[i] = grad[i] if z[i] > 0 else 0.
+func ReLUGrad(z, grad *Matrix) *Matrix {
+	if z.Rows != grad.Rows || z.Cols != grad.Cols {
+		panic("dense: ReLUGrad shape mismatch")
+	}
+	out := grad.Clone()
+	for i := range out.Data {
+		if z.Data[i] <= 0 {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// LogSoftmaxRows computes the log-softmax of each row, returning a new
+// matrix. Numerically stabilized by subtracting the row max.
+func LogSoftmaxRows(m *Matrix) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.RowView(i)
+		max := math.Inf(-1)
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+		sum := 0.0
+		for _, v := range row {
+			sum += math.Exp(v - max)
+		}
+		lse := max + math.Log(sum)
+		dst := out.RowView(i)
+		for j, v := range row {
+			dst[j] = v - lse
+		}
+	}
+	return out
+}
+
+// CrossEntropy computes the mean negative log-likelihood of labels
+// under row-wise softmax of logits, together with the gradient with
+// respect to the logits (softmax - onehot, scaled by 1/rows).
+func CrossEntropy(logits *Matrix, labels []int) (loss float64, grad *Matrix) {
+	if len(labels) != logits.Rows {
+		panic(fmt.Sprintf("dense: CrossEntropy got %d labels for %d rows", len(labels), logits.Rows))
+	}
+	logp := LogSoftmaxRows(logits)
+	grad = New(logits.Rows, logits.Cols)
+	inv := 1.0 / float64(logits.Rows)
+	for i := 0; i < logits.Rows; i++ {
+		y := labels[i]
+		if y < 0 || y >= logits.Cols {
+			panic(fmt.Sprintf("dense: label %d outside %d classes", y, logits.Cols))
+		}
+		loss -= logp.At(i, y)
+		lp := logp.RowView(i)
+		g := grad.RowView(i)
+		for j := range g {
+			g[j] = math.Exp(lp[j]) * inv
+		}
+		g[y] -= inv
+	}
+	return loss * inv, grad
+}
+
+// Argmax returns the index of the maximum element of each row.
+func Argmax(m *Matrix) []int {
+	out := make([]int, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.RowView(i)
+		best, bv := 0, row[0]
+		for j, v := range row {
+			if v > bv {
+				best, bv = j, v
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// Accuracy returns the fraction of rows whose argmax equals the label.
+func Accuracy(logits *Matrix, labels []int) float64 {
+	if logits.Rows == 0 {
+		return 0
+	}
+	pred := Argmax(logits)
+	correct := 0
+	for i, p := range pred {
+		if p == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(labels))
+}
+
+// XavierInit fills m with Glorot-uniform values using rng.
+func XavierInit(m *Matrix, rng *rand.Rand) {
+	limit := math.Sqrt(6.0 / float64(m.Rows+m.Cols))
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+}

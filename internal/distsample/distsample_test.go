@@ -1,0 +1,377 @@
+package distsample
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/sparse"
+)
+
+func testGraph(n int, deg float64, seed int64) *sparse.CSR {
+	g := graph.ErdosRenyi(n, deg, seed)
+	return graph.EnsureMinOutDegree(g, 4, seed+1).Adj
+}
+
+func makeBatches(k, b, n int) [][]int {
+	out := make([][]int, k)
+	v := 0
+	for i := range out {
+		batch := make([]int, b)
+		for j := range batch {
+			batch[j] = v % n
+			v++
+		}
+		out[i] = batch
+	}
+	return out
+}
+
+func sameBulk(a, b *core.BulkSample) error {
+	if len(a.Layers) != len(b.Layers) {
+		return fmt.Errorf("layer count %d vs %d", len(a.Layers), len(b.Layers))
+	}
+	for l := range a.Layers {
+		la, lb := a.Layers[l], b.Layers[l]
+		if !sparse.Equal(la.Adj, lb.Adj, 1e-12) {
+			return fmt.Errorf("layer %d adjacency differs", l)
+		}
+		if len(la.Cols.Vertices) != len(lb.Cols.Vertices) {
+			return fmt.Errorf("layer %d frontier size %d vs %d", l, len(la.Cols.Vertices), len(lb.Cols.Vertices))
+		}
+		for i := range la.Cols.Vertices {
+			if la.Cols.Vertices[i] != lb.Cols.Vertices[i] {
+				return fmt.Errorf("layer %d frontier vertex %d differs", l, i)
+			}
+		}
+	}
+	return nil
+}
+
+func TestReplicatedBatchesPartition(t *testing.T) {
+	batches := makeBatches(10, 4, 100)
+	seen := 0
+	for rank := 0; rank < 4; rank++ {
+		seen += len(ReplicatedBatches(4, rank, batches))
+	}
+	if seen != 10 {
+		t.Fatalf("ranks cover %d of 10 batches", seen)
+	}
+}
+
+func TestReplicatedMatchesLocalSampling(t *testing.T) {
+	a := testGraph(120, 8, 1)
+	batches := makeBatches(8, 4, 120)
+	fanouts := []int{3, 2}
+
+	cl := cluster.New(4, cluster.Perlmutter())
+	results := make([]*core.BulkSample, 4)
+	_, err := cl.Run(func(r *cluster.Rank) error {
+		local := ReplicatedBatches(4, r.ID, batches)
+		results[r.ID] = SampleReplicated(r, core.SAGE{}, a, local, fanouts, 77)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank := 0; rank < 4; rank++ {
+		local := ReplicatedBatches(4, rank, batches)
+		want := core.SampleBulk(core.SAGE{}, a, local, fanouts, 77)
+		if err := sameBulk(results[rank], want); err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+}
+
+func TestReplicatedSamplingHasNoCommunication(t *testing.T) {
+	a := testGraph(120, 8, 2)
+	batches := makeBatches(8, 4, 120)
+	cl := cluster.New(4, cluster.Perlmutter())
+	res, err := cl.Run(func(r *cluster.Rank) error {
+		local := ReplicatedBatches(4, r.ID, batches)
+		SampleReplicated(r, core.SAGE{}, a, local, []int{3, 2}, 5)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, phase := range []string{PhaseProbability, PhaseSampling, PhaseExtraction} {
+		if res.PhaseComm(phase) != 0 {
+			t.Fatalf("replicated algorithm communicated in phase %q", phase)
+		}
+	}
+}
+
+// runPartitioned executes the partitioned sampler on a p-rank, c-way
+// grid and returns per-rank results plus the cluster accounting.
+func runPartitioned(t *testing.T, a *sparse.CSR, batches [][]int, p, c int,
+	sage bool, fanouts []int, width, layers int, aware bool) ([]*core.BulkSample, *cluster.Result) {
+	t.Helper()
+	cl := cluster.New(p, cluster.Perlmutter())
+	g := cluster.NewGrid(cl, p, c)
+	set := NewPartitionedSet(g, a, aware)
+	results := make([]*core.BulkSample, p)
+	res, err := cl.Run(func(r *cluster.Rank) error {
+		local := LocalBatches(g, r.ID, batches)
+		if sage {
+			results[r.ID] = SampleSAGEPartitioned(r, set[r.ID], local, fanouts, 99)
+		} else {
+			results[r.ID] = SampleLADIESPartitioned(r, set[r.ID], local, width, layers, 99)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results, res
+}
+
+func TestPartitionedSAGEMatchesLocal(t *testing.T) {
+	a := testGraph(150, 10, 3)
+	batches := makeBatches(8, 4, 150)
+	for _, pc := range [][2]int{{4, 1}, {4, 2}, {8, 2}} {
+		p, c := pc[0], pc[1]
+		results, _ := runPartitioned(t, a, batches, p, c, true, []int{3, 2}, 0, 0, true)
+		cl := cluster.New(p, cluster.Perlmutter())
+		g := cluster.NewGrid(cl, p, c)
+		for rank := 0; rank < p; rank++ {
+			local := LocalBatches(g, rank, batches)
+			want := core.SampleBulk(core.SAGE{}, a, local, []int{3, 2}, 99)
+			if err := sameBulk(results[rank], want); err != nil {
+				t.Fatalf("p=%d c=%d rank %d: %v", p, c, rank, err)
+			}
+		}
+	}
+}
+
+func TestPartitionedSAGEObliviousMatchesAware(t *testing.T) {
+	a := testGraph(150, 10, 4)
+	batches := makeBatches(4, 4, 150)
+	aware, _ := runPartitioned(t, a, batches, 4, 2, true, []int{3, 2}, 0, 0, true)
+	obliv, _ := runPartitioned(t, a, batches, 4, 2, true, []int{3, 2}, 0, 0, false)
+	for rank := range aware {
+		if err := sameBulk(aware[rank], obliv[rank]); err != nil {
+			t.Fatalf("rank %d: sparsity-aware and oblivious disagree: %v", rank, err)
+		}
+	}
+}
+
+func TestSparsityAwareCommunicatesLess(t *testing.T) {
+	a := testGraph(400, 12, 5)
+	batches := makeBatches(4, 8, 400)
+	_, awareRes := runPartitioned(t, a, batches, 4, 2, true, []int{3, 2}, 0, 0, true)
+	_, oblivRes := runPartitioned(t, a, batches, 4, 2, true, []int{3, 2}, 0, 0, false)
+	var awareBytes, oblivBytes int64
+	for _, s := range awareRes.Ranks {
+		awareBytes += s.BytesSent
+	}
+	for _, s := range oblivRes.Ranks {
+		oblivBytes += s.BytesSent
+	}
+	if awareBytes >= oblivBytes {
+		t.Fatalf("sparsity-aware sent %d bytes, oblivious %d", awareBytes, oblivBytes)
+	}
+}
+
+func TestPartitionedLADIESMatchesLocal(t *testing.T) {
+	a := testGraph(150, 10, 6)
+	batches := makeBatches(8, 4, 150)
+	const width, layers = 5, 2
+	for _, pc := range [][2]int{{4, 1}, {4, 2}, {8, 2}} {
+		p, c := pc[0], pc[1]
+		results, _ := runPartitioned(t, a, batches, p, c, false, nil, width, layers, true)
+		cl := cluster.New(p, cluster.Perlmutter())
+		g := cluster.NewGrid(cl, p, c)
+		fan := make([]int, layers)
+		for i := range fan {
+			fan[i] = width
+		}
+		for rank := 0; rank < p; rank++ {
+			local := LocalBatches(g, rank, batches)
+			want := core.SampleBulk(core.LADIES{}, a, local, fan, 99)
+			if err := sameBulk(results[rank], want); err != nil {
+				t.Fatalf("p=%d c=%d rank %d: %v", p, c, rank, err)
+			}
+		}
+	}
+}
+
+func TestPartitionedPhasesAccounted(t *testing.T) {
+	a := testGraph(200, 10, 7)
+	batches := makeBatches(8, 4, 200)
+	_, res := runPartitioned(t, a, batches, 4, 2, true, []int{3, 2}, 0, 0, true)
+	for _, phase := range []string{PhaseProbability, PhaseSampling, PhaseExtraction} {
+		if res.Phase(phase) <= 0 {
+			t.Fatalf("phase %q has no time", phase)
+		}
+	}
+	// The probability phase must include communication (the 1.5D
+	// SpGEMM), while sampling is communication-free.
+	if res.PhaseComm(PhaseProbability) <= 0 {
+		t.Fatal("1.5D SpGEMM booked no communication")
+	}
+	if res.PhaseComm(PhaseSampling) != 0 {
+		t.Fatal("sampling phase should be communication-free")
+	}
+}
+
+func TestPartitionedRequiresDivisibility(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic: c^2 does not divide p")
+		}
+	}()
+	cl := cluster.New(8, cluster.Perlmutter())
+	g := cluster.NewGrid(cl, 8, 4) // rows=2, c=4: 2 % 4 != 0
+	NewPartitionedSet(g, testGraph(50, 6, 8), true)
+}
+
+func TestNewPartitionedSetCoversMatrix(t *testing.T) {
+	a := testGraph(103, 8, 9) // odd size exercises uneven blocks
+	cl := cluster.New(4, cluster.Perlmutter())
+	g := cluster.NewGrid(cl, 4, 2)
+	set := NewPartitionedSet(g, a, true)
+	covered := 0
+	seen := map[int]bool{}
+	for rank := 0; rank < 4; rank++ {
+		ps := set[rank]
+		if seen[ps.Lo] {
+			continue
+		}
+		seen[ps.Lo] = true
+		covered += ps.Hi - ps.Lo
+		if ps.ALocal.Rows != ps.Hi-ps.Lo {
+			t.Fatalf("rank %d block shape mismatch", rank)
+		}
+	}
+	if covered != 103 {
+		t.Fatalf("blocks cover %d of 103 rows", covered)
+	}
+	// Replicas in the same process row share the block.
+	if set[0] != set[1] {
+		t.Fatal("row replicas should share block state")
+	}
+}
+
+func TestPartitionedFastGCNMatchesLocal(t *testing.T) {
+	a := testGraph(150, 10, 10)
+	batches := makeBatches(8, 4, 150)
+	const width, layers = 5, 2
+	cl := cluster.New(4, cluster.Perlmutter())
+	g := cluster.NewGrid(cl, 4, 2)
+	set := NewPartitionedSet(g, a, true)
+	results := make([]*core.BulkSample, 4)
+	_, err := cl.Run(func(r *cluster.Rank) error {
+		local := LocalBatches(g, r.ID, batches)
+		results[r.ID] = SampleFastGCNPartitioned(r, set[r.ID], local, width, layers, 99)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fan := []int{width, width}
+	for rank := 0; rank < 4; rank++ {
+		local := LocalBatches(g, rank, batches)
+		want := core.SampleBulk(core.FastGCN{}, a, local, fan, 99)
+		if err := sameBulk(results[rank], want); err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+}
+
+func TestPartitionedSetComputesDegrees(t *testing.T) {
+	a := testGraph(80, 6, 11)
+	cl := cluster.New(4, cluster.Perlmutter())
+	g := cluster.NewGrid(cl, 4, 2)
+	set := NewPartitionedSet(g, a, true)
+	for v := 0; v < a.Rows; v++ {
+		if set[0].Degrees[v] != a.RowNNZ(v) {
+			t.Fatalf("degree of %d wrong", v)
+		}
+	}
+}
+
+func TestOneDMatchesLocal(t *testing.T) {
+	a := testGraph(150, 10, 12)
+	batches := makeBatches(8, 4, 150)
+	fanouts := []int{3, 2}
+	cl := cluster.New(4, cluster.Perlmutter())
+	world := cl.World()
+	set := NewOneDSet(4, a)
+	results := make([]*core.BulkSample, 4)
+	_, err := cl.Run(func(r *cluster.Rank) error {
+		local := ReplicatedBatches(4, r.ID, batches)
+		results[r.ID] = SampleSAGE1D(r, set[r.ID], world, local, fanouts, 99)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank := 0; rank < 4; rank++ {
+		local := ReplicatedBatches(4, rank, batches)
+		want := core.SampleBulk(core.SAGE{}, a, local, fanouts, 99)
+		if err := sameBulk(results[rank], want); err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+}
+
+func TestOneDSetCoversMatrix(t *testing.T) {
+	a := testGraph(101, 6, 13)
+	set := NewOneDSet(4, a)
+	covered := 0
+	for _, od := range set {
+		covered += od.Hi - od.Lo
+	}
+	if covered != 101 {
+		t.Fatalf("blocks cover %d of 101", covered)
+	}
+}
+
+func TestOneDCommunicatesMoreThan15DAtScale(t *testing.T) {
+	// The design-choice claim (Buluç & Gilbert): 1D SpGEMM traffic
+	// grows with p while the 1.5D scheme's scales with c. At p=8 the
+	// 1D scheme must already move more bytes than the sparsity-aware
+	// 1.5D with c=2.
+	a := testGraph(600, 12, 14)
+	batches := makeBatches(8, 8, 600)
+	fanouts := []int{3, 2}
+	p := 8
+
+	cl1 := cluster.New(p, cluster.Perlmutter())
+	world := cl1.World()
+	oneD := NewOneDSet(p, a)
+	res1, err := cl1.Run(func(r *cluster.Rank) error {
+		local := ReplicatedBatches(p, r.ID, batches)
+		SampleSAGE1D(r, oneD[r.ID], world, local, fanouts, 5)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cl2 := cluster.New(p, cluster.Perlmutter())
+	g := cluster.NewGrid(cl2, p, 2)
+	set := NewPartitionedSet(g, a, true)
+	res2, err := cl2.Run(func(r *cluster.Rank) error {
+		local := LocalBatches(g, r.ID, batches)
+		SampleSAGEPartitioned(r, set[r.ID], local, fanouts, 5)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bytes1, bytes2 := int64(0), int64(0)
+	for _, s := range res1.Ranks {
+		bytes1 += s.BytesSent
+	}
+	for _, s := range res2.Ranks {
+		bytes2 += s.BytesSent
+	}
+	if bytes1 <= bytes2 {
+		t.Fatalf("1D (%d bytes) should exceed 1.5D (%d bytes)", bytes1, bytes2)
+	}
+}

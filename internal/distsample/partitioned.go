@@ -1,0 +1,349 @@
+// Package distsample implements the paper's two distributed sampling
+// algorithms (Section 5):
+//
+//   - Graph Replicated (Section 5.1): the adjacency matrix is
+//     replicated on every device and the stacked sampler matrix Q is
+//     1-D block-row partitioned, so the entire sampling step runs
+//     without communication.
+//   - Graph Partitioned (Section 5.2): Q and A are partitioned in
+//     block rows over a p/c × c process grid; P = Q·A runs as the
+//     staged, sparsity-aware 1.5D SpGEMM of Algorithm 2 (gather the
+//     needed column ids, send only the referenced rows of A, then
+//     all-reduce partial products across process rows).
+//
+// Both drivers run on the simulated cluster of internal/cluster and
+// charge each phase (probability / sampling / extraction) on the
+// per-rank clocks, including the communication split that Figure 7
+// reports.
+package distsample
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/sparse"
+)
+
+// Phase names used for the Figure 7 breakdowns.
+const (
+	PhaseProbability = "probability"
+	PhaseSampling    = "sampling"
+	PhaseExtraction  = "extraction"
+)
+
+// Partitioned is the per-grid-row state of the Graph Partitioned
+// algorithm: one block row of A (compact, rows [Lo, Hi) of the global
+// matrix), shared by the c replicas of a process row.
+type Partitioned struct {
+	Grid *cluster.Grid
+	N    int
+	// ALocal holds rows [Lo, Hi) of A with row indices shifted to
+	// local (row g of A is ALocal row g-Lo).
+	ALocal *sparse.CSR
+	Lo, Hi int
+	// SparsityAware selects Algorithm 2's row-fetching scheme; when
+	// false the owner broadcasts its whole block row each stage (the
+	// sparsity-oblivious baseline the paper contrasts against).
+	SparsityAware bool
+	// Degrees holds every vertex's out-degree. FastGCN's probability
+	// model needs global degrees; a real deployment all-gathers the
+	// per-block degree vectors once at startup (n integers — tiny next
+	// to the graph).
+	Degrees []int
+}
+
+// NewPartitionedSet slices A into the grid's block rows, returning the
+// per-rank state (index by rank id). Replicas within a process row
+// share the same block storage, like real replicas would hold copies.
+func NewPartitionedSet(g *cluster.Grid, a *sparse.CSR, sparsityAware bool) []*Partitioned {
+	if g.Rows%g.C != 0 {
+		panic(fmt.Sprintf("distsample: 1.5D algorithm needs c^2 | p (p=%d c=%d)", g.P, g.C))
+	}
+	degrees := make([]int, a.Rows)
+	for i := range degrees {
+		degrees[i] = a.RowNNZ(i)
+	}
+	blocks := make([]*Partitioned, g.Rows)
+	for i := 0; i < g.Rows; i++ {
+		lo, hi := graph.BlockRowRange(a.Rows, g.Rows, i)
+		blocks[i] = &Partitioned{
+			Grid:          g,
+			N:             a.Rows,
+			ALocal:        sparse.SliceRows(a, lo, hi),
+			Lo:            lo,
+			Hi:            hi,
+			SparsityAware: sparsityAware,
+			Degrees:       degrees,
+		}
+	}
+	out := make([]*Partitioned, g.P)
+	for rank := 0; rank < g.P; rank++ {
+		out[rank] = blocks[g.RowIndex(rank)]
+	}
+	return out
+}
+
+// rowPayload carries requested rows of an A block from the owner to a
+// requester: rows appear in the requester's request order.
+type rowPayload struct {
+	rows *sparse.CSR
+}
+
+func payloadBytes(p *rowPayload) int {
+	if p == nil || p.rows == nil {
+		return 0
+	}
+	return p.rows.Bytes()
+}
+
+// SpGEMM15D computes P = Q·A for this rank's block row of Q, running
+// the staged block algorithm of Algorithm 2 on the process grid. Q's
+// columns span the full vertex range [0, N). The result is the full
+// product for this rank's rows, identical on all c replicas of the
+// process row after the final all-reduce.
+func (ps *Partitioned) SpGEMM15D(r *cluster.Rank, q *sparse.CSR) *sparse.CSR {
+	g := ps.Grid
+	j := g.ColIndex(r.ID)
+	stages := g.Rows / g.C // the q = p/c^2 stages of Algorithm 2
+	colComm := g.ColComm(r.ID)
+	rowComm := g.RowComm(r.ID)
+
+	acc := sparse.Zero(q.Rows, ps.N)
+	for t := 0; t < stages; t++ {
+		k := j*stages + t // block row of A handled this stage
+		lo, hi := graph.BlockRowRange(ps.N, g.Rows, k)
+		qik := sparse.ColRange(q, lo, hi)
+		r.ChargeMem(int64(q.NNZ()) * 8) // block slicing pass
+		ownerLocal := k                 // colComm members sorted by grid row
+
+		var blockK *sparse.CSR
+		if ps.SparsityAware {
+			// Each member tells the owner which rows of A_k its local
+			// multiply will read (NnzCols of Q_ik), and receives only
+			// those rows.
+			need := sparse.NonzeroCols(qik)
+			lists := cluster.Gather(colComm, r, ownerLocal, need, 8*len(need))
+			var parts []*rowPayload
+			if lists != nil { // this rank owns A_k
+				parts = make([]*rowPayload, colComm.Size())
+				var extracted int64
+				for m, lst := range lists {
+					parts[m] = &rowPayload{rows: sparse.ExtractRows(ps.ALocal, lst)}
+					extracted += int64(parts[m].rows.NNZ())
+				}
+				r.ChargeSparse(extracted)
+			}
+			part := cluster.Scatter(colComm, r, ownerLocal, parts, payloadBytes)
+			blockK = assembleBlock(hi-lo, need, part.rows)
+		} else {
+			// Sparsity-oblivious: broadcast the whole block row.
+			var block *sparse.CSR
+			if g.RowIndex(r.ID) == k {
+				block = ps.ALocal
+			}
+			blockK = cluster.Broadcast(colComm, r, ownerLocal, block, blockBytes(block))
+		}
+
+		prod, flops := sparse.SpGEMM(qik, blockK)
+		r.ChargeSparse(flops)
+		acc = sparse.AddCSR(acc, prod)
+		r.ChargeMem(int64(acc.NNZ()) * 16)
+		r.ChargeKernels(2)
+	}
+
+	// Partial sums combine across the process row (Algorithm 2 line
+	// 14). Replicas must not mutate the shared result.
+	sum := cluster.AllReduceGeneric(rowComm, r, acc, acc.Bytes(), sparse.AddCSR)
+	r.ChargeMem(int64(sum.NNZ()) * 16 * int64(rowComm.Size()))
+	return sum.Clone()
+}
+
+// blockBytes sizes an optional block for broadcast accounting.
+func blockBytes(b *sparse.CSR) int {
+	if b == nil {
+		return 0
+	}
+	return b.Bytes()
+}
+
+// assembleBlock rebuilds the (height x N) right operand from the rows
+// the owner sent: row ids[i] of the block is payload row i.
+func assembleBlock(height int, ids []int, rows *sparse.CSR) *sparse.CSR {
+	out := &sparse.CSR{Rows: height, Cols: rows.Cols, RowPtr: make([]int, height+1)}
+	out.ColIdx = make([]int, 0, rows.NNZ())
+	out.Val = make([]float64, 0, rows.NNZ())
+	cursor := 0
+	for i := 0; i < height; i++ {
+		if cursor < len(ids) && ids[cursor] == i {
+			cs, vs := rows.Row(cursor)
+			out.ColIdx = append(out.ColIdx, cs...)
+			out.Val = append(out.Val, vs...)
+			cursor++
+		}
+		out.RowPtr[i+1] = len(out.ColIdx)
+	}
+	if cursor != len(ids) {
+		panic("distsample: row payload misaligned with request")
+	}
+	return out
+}
+
+// LocalBatches splits the global batch list across process rows: each
+// process row owns a contiguous share, replicated on its c members
+// (the 1-D block row distribution of Q).
+func LocalBatches(g *cluster.Grid, rank int, batches [][]int) [][]int {
+	lo, hi := graph.BlockRowRange(len(batches), g.Rows, g.RowIndex(rank))
+	return batches[lo:hi]
+}
+
+// SampleSAGEPartitioned runs bulk GraphSAGE sampling over this rank's
+// local batches with the Graph Partitioned algorithm, charging the
+// probability/sampling/extraction phases on the rank's clock.
+func SampleSAGEPartitioned(r *cluster.Rank, ps *Partitioned, batches [][]int, fanouts []int, seed int64) *core.BulkSample {
+	out := &core.BulkSample{Batches: batches}
+	cur := core.NewFrontier(batches)
+	sg := core.SAGE{}
+	for l, fan := range fanouts {
+		layerSeed := seed + int64(l)*1e9
+
+		r.SetPhase(PhaseProbability)
+		q := sg.BuildQ(cur, ps.N)
+		r.ChargeKernels(1)
+		p := ps.SpGEMM15D(r, q)
+
+		r.SetPhase(PhaseSampling)
+		ls, cost := sg.FinishStep(p, cur, fan, layerSeed)
+		r.ChargeSparse(cost.SampleOps)
+		r.ChargeKernels(2)
+		r.SetPhase(PhaseExtraction)
+		r.ChargeSparse(cost.ExtractOps)
+		r.ChargeKernels(1)
+
+		out.Layers = append(out.Layers, ls)
+		out.Cost.Add(cost)
+		cur = ls.Cols
+	}
+	return out
+}
+
+// SampleLADIESPartitioned runs bulk LADIES sampling over this rank's
+// local batches with the Graph Partitioned algorithm. Row extraction
+// (Q_R·A) reuses the 1.5D SpGEMM; column extraction is split across
+// the process row and reassembled with an all-gather, as described in
+// Section 5.2.3.
+func SampleLADIESPartitioned(r *cluster.Rank, ps *Partitioned, batches [][]int, layerWidth int, layers int, seed int64) *core.BulkSample {
+	return layerwisePartitioned(r, ps, batches, layerWidth, layers, seed, func(p *sparse.CSR) {
+		core.LADIES{}.Norm(p)
+	})
+}
+
+// SampleFastGCNPartitioned runs bulk FastGCN sampling with the Graph
+// Partitioned algorithm: identical schedule to LADIES but with
+// degree-squared importance weights.
+func SampleFastGCNPartitioned(r *cluster.Rank, ps *Partitioned, batches [][]int, layerWidth int, layers int, seed int64) *core.BulkSample {
+	return layerwisePartitioned(r, ps, batches, layerWidth, layers, seed, func(p *sparse.CSR) {
+		for i := 0; i < p.Rows; i++ {
+			cols, vals := p.Row(i)
+			for k, c := range cols {
+				d := float64(ps.Degrees[c])
+				vals[k] = d * d
+			}
+		}
+		p.NormalizeRows()
+	})
+}
+
+// layerwisePartitioned is the shared Graph Partitioned driver for
+// layer-wise samplers; norm converts the raw count matrix P into the
+// sampler's probability model in place.
+func layerwisePartitioned(r *cluster.Rank, ps *Partitioned, batches [][]int, layerWidth int, layers int, seed int64, norm func(*sparse.CSR)) *core.BulkSample {
+	out := &core.BulkSample{Batches: batches}
+	cur := core.NewFrontier(batches)
+	ld := core.LADIES{}
+	g := ps.Grid
+	myCol := g.ColIndex(r.ID)
+	rowComm := g.RowComm(r.ID)
+
+	for l := 0; l < layers; l++ {
+		layerSeed := seed + int64(l)*1e9
+
+		// Probabilities: P = Q·A with the sampler's normalization.
+		r.SetPhase(PhaseProbability)
+		q := ld.BuildQ(cur, ps.N)
+		r.ChargeKernels(1)
+		p := ps.SpGEMM15D(r, q)
+		norm(p)
+		r.ChargeMem(int64(p.NNZ()) * 16)
+
+		// Sampling: row-wise, local on every replica.
+		r.SetPhase(PhaseSampling)
+		sampled, cost := core.SampleLayerwise(p, layerWidth, layerSeed)
+		r.ChargeSparse(cost.SampleOps)
+		r.ChargeKernels(1)
+
+		// Extraction: row extraction is a second 1.5D SpGEMM with the
+		// one-nonzero-per-row Q_R; column extraction is split across
+		// the process row by batch and reassembled.
+		r.SetPhase(PhaseExtraction)
+		qr := (core.SAGE{}).BuildQ(cur, ps.N) // Q_R: one nonzero per frontier vertex
+		ar := ps.SpGEMM15D(r, qr)
+
+		k := cur.K()
+		perBatch := make([]*core.LayerSample, k)
+		var myParts []*core.LayerSample
+		var extractOps int64
+		for b := 0; b < k; b++ {
+			if b%g.C != myCol {
+				myParts = append(myParts, nil)
+				continue
+			}
+			bf := core.NewFrontier([][]int{append([]int(nil), cur.Batch(b)...)})
+			arSlice := sparse.SliceRows(ar, cur.BatchPtr[b], cur.BatchPtr[b+1])
+			lsb, c := core.ExtractLayerwise(arSlice, bf, [][]int{sampled[b]})
+			extractOps += c.ExtractOps
+			myParts = append(myParts, lsb)
+		}
+		r.ChargeSparse(extractOps)
+		r.ChargeKernels(1)
+
+		partBytes := 0
+		for _, pb := range myParts {
+			if pb != nil {
+				partBytes += pb.Adj.Bytes() + 8*pb.Cols.Len()
+			}
+		}
+		gathered := cluster.AllGather(rowComm, r, myParts, partBytes)
+		for col, parts := range gathered {
+			for b := 0; b < k; b++ {
+				if b%g.C == col {
+					perBatch[b] = parts[b]
+				}
+			}
+		}
+
+		ls := assembleLayer(perBatch, cur)
+		out.Layers = append(out.Layers, ls)
+		out.Cost.Add(cost)
+		cur = ls.Cols
+	}
+	return out
+}
+
+// assembleLayer merges per-batch layer samples (each a 1-batch
+// LayerSample) into one bulk LayerSample: adjacencies block-diagonal,
+// frontiers concatenated.
+func assembleLayer(perBatch []*core.LayerSample, cur *core.Frontier) *core.LayerSample {
+	adjs := make([]*sparse.CSR, len(perBatch))
+	next := &core.Frontier{BatchPtr: make([]int, len(perBatch)+1)}
+	for b, pb := range perBatch {
+		if pb == nil {
+			panic(fmt.Sprintf("distsample: batch %d missing after all-gather", b))
+		}
+		adjs[b] = pb.Adj
+		next.Vertices = append(next.Vertices, pb.Cols.Vertices...)
+		next.BatchPtr[b+1] = len(next.Vertices)
+	}
+	return &core.LayerSample{Adj: sparse.BlockDiag(adjs...), Rows: cur, Cols: next}
+}

@@ -1,0 +1,175 @@
+package gnn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dense"
+	"repro/internal/sparse"
+)
+
+func TestAggregatorStrings(t *testing.T) {
+	if MeanAgg.String() != "mean" || GCNAgg.String() != "gcn" || SumAgg.String() != "sum" {
+		t.Fatal("aggregator strings wrong")
+	}
+}
+
+func TestNormalizeAdjMean(t *testing.T) {
+	adj := sparse.FromEntries(2, 3, [][3]float64{{0, 0, 1}, {0, 2, 1}, {1, 1, 1}})
+	norm := normalizeAdj(adj, MeanAgg)
+	if norm.At(0, 0) != 0.5 || norm.At(0, 2) != 0.5 || norm.At(1, 1) != 1 {
+		t.Fatalf("mean normalization wrong: %v", norm.ToDense())
+	}
+	// Original must be untouched.
+	if adj.At(0, 0) != 1 {
+		t.Fatal("normalizeAdj mutated input")
+	}
+}
+
+func TestNormalizeAdjSum(t *testing.T) {
+	adj := sparse.FromEntries(1, 2, [][3]float64{{0, 0, 1}, {0, 1, 1}})
+	norm := normalizeAdj(adj, SumAgg)
+	if norm.At(0, 0) != 1 || norm.At(0, 1) != 1 {
+		t.Fatal("sum aggregation must not scale")
+	}
+}
+
+func TestNormalizeAdjGCNSymmetric(t *testing.T) {
+	// Entry (i,j) must equal 1/sqrt((1+rowdeg_i)(1+coldeg_j)).
+	adj := sparse.FromEntries(2, 2, [][3]float64{{0, 0, 1}, {0, 1, 1}, {1, 1, 1}})
+	norm := normalizeAdj(adj, GCNAgg)
+	want00 := 1 / math.Sqrt(3*2) // rowdeg 2, coldeg 1
+	want01 := 1 / math.Sqrt(3*3) // rowdeg 2, coldeg 2
+	want11 := 1 / math.Sqrt(2*3)
+	if math.Abs(norm.At(0, 0)-want00) > 1e-12 ||
+		math.Abs(norm.At(0, 1)-want01) > 1e-12 ||
+		math.Abs(norm.At(1, 1)-want11) > 1e-12 {
+		t.Fatalf("GCN normalization wrong: %v", norm.ToDense())
+	}
+}
+
+func TestBackwardWithGCNAggregator(t *testing.T) {
+	// The gradient check must hold for the GCN aggregation too.
+	bg, _ := sampleBatch(t, 50, []int{1, 2}, []int{3, 2}, 21)
+	m := NewModel(Config{In: 4, Hidden: 5, Classes: 3, Layers: 2, Agg: GCNAgg, Seed: 8})
+	feats := make([]float64, len(bg.InputVertices())*4)
+	for i := range feats {
+		feats[i] = math.Cos(float64(i))
+	}
+	fm := dense.FromSlice(len(bg.InputVertices()), 4, feats)
+	labels := []int{1, 2}
+
+	act, _ := m.Forward(bg, fm)
+	_, dLogits := Loss(act, labels)
+	grads, _ := m.Backward(act, dLogits)
+
+	params := m.Params()
+	const eps = 1e-6
+	for idx := 0; idx < len(params); idx += 11 {
+		orig := params[idx]
+		params[idx] = orig + eps
+		a1, _ := m.Forward(bg, fm)
+		lp, _ := Loss(a1, labels)
+		params[idx] = orig - eps
+		a2, _ := m.Forward(bg, fm)
+		lm, _ := Loss(a2, labels)
+		params[idx] = orig
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-grads[idx]) > 1e-4*(1+math.Abs(num)) {
+			t.Fatalf("GCN agg param %d: analytic %v vs numeric %v", idx, grads[idx], num)
+		}
+	}
+}
+
+func TestSumAggregatorTrains(t *testing.T) {
+	bg, _ := sampleBatch(t, 40, []int{1, 2, 3}, []int{3}, 22)
+	m := NewModel(Config{In: 4, Hidden: 6, Classes: 2, Layers: 1, Agg: SumAgg, Seed: 9})
+	feats := dense.FromSlice(len(bg.InputVertices()), 4, make([]float64, len(bg.InputVertices())*4))
+	for i := range feats.Data {
+		feats.Data[i] = float64(i%5) * 0.1
+	}
+	act, flops := m.Forward(bg, feats)
+	if flops <= 0 || act.Logits.Rows != 3 {
+		t.Fatal("sum aggregator forward broken")
+	}
+}
+
+func TestDropoutGradientCheck(t *testing.T) {
+	// With a fixed dropout seed, masks are deterministic, so the
+	// analytic gradient must still match the numeric one.
+	bg, _ := sampleBatch(t, 50, []int{1, 2}, []int{3, 2}, 31)
+	m := NewModel(Config{In: 4, Hidden: 5, Classes: 3, Layers: 2, Seed: 10})
+	m.SetDropout(0.3, 77)
+	feats := dense.New(len(bg.InputVertices()), 4)
+	for i := range feats.Data {
+		feats.Data[i] = math.Sin(float64(i) * 0.7)
+	}
+	labels := []int{0, 1}
+
+	act, _ := m.Forward(bg, feats)
+	_, dLogits := Loss(act, labels)
+	grads, _ := m.Backward(act, dLogits)
+
+	params := m.Params()
+	const eps = 1e-6
+	for idx := 0; idx < len(params); idx += 13 {
+		orig := params[idx]
+		params[idx] = orig + eps
+		a1, _ := m.Forward(bg, feats)
+		lp, _ := Loss(a1, labels)
+		params[idx] = orig - eps
+		a2, _ := m.Forward(bg, feats)
+		lm, _ := Loss(a2, labels)
+		params[idx] = orig
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-grads[idx]) > 1e-4*(1+math.Abs(num)) {
+			t.Fatalf("dropout param %d: analytic %v vs numeric %v", idx, grads[idx], num)
+		}
+	}
+}
+
+func TestDropoutZerosFraction(t *testing.T) {
+	mask := dropoutMask(100, 100, 0.4, 5, 0)
+	zeros := 0
+	for _, v := range mask.Data {
+		if v == 0 {
+			zeros++
+		} else if math.Abs(v-1/0.6) > 1e-12 {
+			t.Fatalf("non-inverted mask value %v", v)
+		}
+	}
+	frac := float64(zeros) / 10000
+	if frac < 0.35 || frac > 0.45 {
+		t.Fatalf("dropout fraction %.3f, want ~0.4", frac)
+	}
+}
+
+func TestDropoutSeedAdvances(t *testing.T) {
+	a := dropoutMask(10, 10, 0.5, 1, 0)
+	b := dropoutMask(10, 10, 0.5, 2, 0)
+	same := true
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical masks")
+	}
+	m := NewModel(Config{In: 2, Hidden: 2, Classes: 2, Layers: 1, Seed: 1})
+	m.SetDropout(0.5, 1)
+	m.NextDropoutSeed()
+	if m.dropSeed != 2 {
+		t.Fatal("NextDropoutSeed did not advance")
+	}
+}
+
+func TestDropoutBadRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for rate 1")
+		}
+	}()
+	NewModel(Config{In: 2, Hidden: 2, Classes: 2, Layers: 1, Seed: 1}).SetDropout(1.0, 0)
+}

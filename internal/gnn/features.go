@@ -1,0 +1,15 @@
+package gnn
+
+import "repro/internal/dense"
+
+// GatherFeatures copies the feature rows of the given global vertices
+// into a new matrix, in order. This is the local equivalent of the
+// pipeline's feature-fetching step; the distributed version assembles
+// the same matrix from all-to-allv responses.
+func GatherFeatures(feats *dense.Matrix, vertices []int) *dense.Matrix {
+	out := dense.New(len(vertices), feats.Cols)
+	for i, v := range vertices {
+		copy(out.RowView(i), feats.RowView(v))
+	}
+	return out
+}

@@ -1,0 +1,256 @@
+// Package gnn implements the GraphSAGE model trained in the paper's
+// end-to-end pipeline: L mean-aggregator SAGE convolutions over the
+// sampled computation graph followed by a linear classifier, with
+// explicit (dependency-free) backpropagation. Parameters live in one
+// flat vector so data-parallel gradient all-reduce and optimizer steps
+// operate on contiguous memory.
+package gnn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dense"
+	"repro/internal/sparse"
+)
+
+// Config describes a SAGE network.
+type Config struct {
+	In      int // input feature width
+	Hidden  int // hidden width (Table 4 uses 256; scaled presets use less)
+	Classes int
+	Layers  int // number of SAGE convolutions (Table 4: 3 for SAGE, 1 for LADIES)
+	// Agg selects the neighbor aggregation (default MeanAgg, the
+	// GraphSAGE mean aggregator the paper trains with).
+	Agg  Aggregator
+	Seed int64
+}
+
+// layerView holds parameter matrix views into the flat buffer for one
+// SAGE convolution: out = ReLU(H_self·WSelf + mean(H_neigh)·WNeigh).
+type layerView struct {
+	WSelf, WNeigh *dense.Matrix
+}
+
+// Model is a GraphSAGE network with a linear classification head.
+type Model struct {
+	Cfg    Config
+	flat   []float64
+	layers []layerView
+	wOut   *dense.Matrix
+	bOut   []float64
+
+	// dropout state (see SetDropout); zero rate = disabled.
+	dropRate float64
+	dropSeed int64
+}
+
+// NewModel allocates and Xavier-initializes a model.
+func NewModel(cfg Config) *Model {
+	if cfg.Layers < 1 {
+		panic("gnn: need at least one layer")
+	}
+	total := 0
+	dims := layerDims(cfg)
+	for _, d := range dims {
+		total += 2 * d[0] * d[1]
+	}
+	total += cfg.Hidden*cfg.Classes + cfg.Classes
+	m := &Model{Cfg: cfg, flat: make([]float64, total)}
+	off := 0
+	view := func(r, c int) *dense.Matrix {
+		v := dense.FromSlice(r, c, m.flat[off:off+r*c])
+		off += r * c
+		return v
+	}
+	for _, d := range dims {
+		m.layers = append(m.layers, layerView{WSelf: view(d[0], d[1]), WNeigh: view(d[0], d[1])})
+	}
+	m.wOut = view(cfg.Hidden, cfg.Classes)
+	m.bOut = m.flat[off : off+cfg.Classes]
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for _, l := range m.layers {
+		dense.XavierInit(l.WSelf, rng)
+		dense.XavierInit(l.WNeigh, rng)
+	}
+	dense.XavierInit(m.wOut, rng)
+	return m
+}
+
+// layerDims returns (in, out) for each convolution in application
+// order: the first conv consumes raw features.
+func layerDims(cfg Config) [][2]int {
+	dims := make([][2]int, cfg.Layers)
+	for i := range dims {
+		in := cfg.Hidden
+		if i == 0 {
+			in = cfg.In
+		}
+		dims[i] = [2]int{in, cfg.Hidden}
+	}
+	return dims
+}
+
+// Params returns the flat parameter vector (shared storage — the
+// optimizer mutates the model through it).
+func (m *Model) Params() []float64 { return m.flat }
+
+// NumParams returns the parameter count.
+func (m *Model) NumParams() int { return len(m.flat) }
+
+// SetParams copies the given flat vector into the model.
+func (m *Model) SetParams(p []float64) {
+	if len(p) != len(m.flat) {
+		panic(fmt.Sprintf("gnn: SetParams got %d values, want %d", len(p), len(m.flat)))
+	}
+	copy(m.flat, p)
+}
+
+// Activations caches everything forward computes that backward needs.
+type Activations struct {
+	bg     *core.BatchGraph
+	h      []*dense.Matrix // h[t]: input to conv t (t=0 raw features)
+	z      []*dense.Matrix // pre-activation of conv t
+	norm   []*sparse.CSR   // row-normalized adjacency used by conv t
+	masks  []*dense.Matrix // dropout masks per conv (nil when disabled)
+	Logits *dense.Matrix
+}
+
+// Forward runs the network over one minibatch. feats holds the feature
+// rows of bg's input frontier (one row per InputVertices() entry).
+// The returned flop count covers every dense and sparse kernel.
+func (m *Model) Forward(bg *core.BatchGraph, feats *dense.Matrix) (*Activations, int64) {
+	if bg.Depth() != m.Cfg.Layers {
+		panic(fmt.Sprintf("gnn: batch has %d layers, model %d", bg.Depth(), m.Cfg.Layers))
+	}
+	if feats.Rows != len(bg.InputVertices()) {
+		panic(fmt.Sprintf("gnn: got %d feature rows for %d input vertices",
+			feats.Rows, len(bg.InputVertices())))
+	}
+	var flops int64
+	act := &Activations{bg: bg}
+	h := feats
+	for t := 0; t < m.Cfg.Layers; t++ {
+		adj := bg.Adjs[m.Cfg.Layers-1-t] // deepest first
+		lay := m.layers[t]
+		rows := adj.Rows
+
+		norm := normalizeAdj(adj, m.Cfg.Agg)
+
+		// Self term: embeddings of this depth's frontier are the first
+		// rows of h (the column frontier embeds the row frontier).
+		hSelf := dense.FromSlice(rows, h.Cols, h.Data[:rows*h.Cols])
+		zSelf, f1 := dense.MatMul(hSelf, lay.WSelf)
+		agg, f2 := sparse.SpMM(norm, h.Data, h.Cols)
+		aggM := dense.FromSlice(rows, h.Cols, agg)
+		zNeigh, f3 := dense.MatMul(aggM, lay.WNeigh)
+		zSelf.AddInPlace(zNeigh)
+		flops += f1 + f2 + f3
+
+		act.h = append(act.h, h)
+		act.z = append(act.z, zSelf)
+		act.norm = append(act.norm, norm)
+		h = dense.ReLU(zSelf)
+		if m.dropRate > 0 {
+			mask := dropoutMask(h.Rows, h.Cols, m.dropRate, m.dropSeed, t)
+			h = applyMask(h, mask)
+			act.masks = append(act.masks, mask)
+		} else {
+			act.masks = append(act.masks, nil)
+		}
+	}
+	logits, f := dense.MatMul(h, m.wOut)
+	flops += f
+	for i := 0; i < logits.Rows; i++ {
+		row := logits.RowView(i)
+		for j := range row {
+			row[j] += m.bOut[j]
+		}
+	}
+	// h after the last conv is needed for the classifier gradient.
+	act.h = append(act.h, h)
+	act.Logits = logits
+	return act, flops
+}
+
+// Backward computes the gradient of the loss with respect to every
+// parameter given dLogits (from dense.CrossEntropy). The result is a
+// flat vector aligned with Params().
+func (m *Model) Backward(act *Activations, dLogits *dense.Matrix) ([]float64, int64) {
+	grads := make([]float64, len(m.flat))
+	off := 0
+	gview := func(r, c int) *dense.Matrix {
+		v := dense.FromSlice(r, c, grads[off:off+r*c])
+		off += r * c
+		return v
+	}
+	var gLayers []layerView
+	for _, d := range layerDims(m.Cfg) {
+		gLayers = append(gLayers, layerView{WSelf: gview(d[0], d[1]), WNeigh: gview(d[0], d[1])})
+	}
+	gWOut := gview(m.Cfg.Hidden, m.Cfg.Classes)
+	gBOut := grads[off : off+m.Cfg.Classes]
+
+	var flops int64
+
+	// Classifier.
+	hTop := act.h[len(act.h)-1]
+	gw, f1 := dense.TMatMul(hTop, dLogits)
+	copy(gWOut.Data, gw.Data)
+	for i := 0; i < dLogits.Rows; i++ {
+		row := dLogits.RowView(i)
+		for j := range row {
+			gBOut[j] += row[j]
+		}
+	}
+	dh, f2 := dense.MatMulT(dLogits, m.wOut)
+	flops += f1 + f2
+
+	// Convolutions, last applied first.
+	for t := m.Cfg.Layers - 1; t >= 0; t-- {
+		lay := m.layers[t]
+		z := act.z[t]
+		hIn := act.h[t]
+		norm := act.norm[t]
+		rows := z.Rows
+
+		if act.masks[t] != nil {
+			dh = applyMask(dh, act.masks[t])
+		}
+		dz := dense.ReLUGrad(z, dh)
+
+		hSelf := dense.FromSlice(rows, hIn.Cols, hIn.Data[:rows*hIn.Cols])
+		gSelf, f3 := dense.TMatMul(hSelf, dz)
+		copy(gLayers[t].WSelf.Data, gSelf.Data)
+
+		agg, f4 := sparse.SpMM(norm, hIn.Data, hIn.Cols)
+		aggM := dense.FromSlice(rows, hIn.Cols, agg)
+		gNeigh, f5 := dense.TMatMul(aggM, dz)
+		copy(gLayers[t].WNeigh.Data, gNeigh.Data)
+
+		// Gradient to the layer input: self path into the prefix rows,
+		// neighbor path through the transposed normalized adjacency.
+		dSelf, f6 := dense.MatMulT(dz, lay.WSelf)
+		dAgg, f7 := dense.MatMulT(dz, lay.WNeigh)
+		dIn, f8 := sparse.SpMMT(norm, dAgg.Data, dAgg.Cols)
+		dhNext := dense.FromSlice(hIn.Rows, hIn.Cols, dIn)
+		for i := 0; i < rows; i++ {
+			dst := dhNext.RowView(i)
+			src := dSelf.RowView(i)
+			for j := range dst {
+				dst[j] += src[j]
+			}
+		}
+		dh = dhNext
+		flops += f3 + f4 + f5 + f6 + f7 + f8
+	}
+	return grads, flops
+}
+
+// Loss computes cross-entropy over the seed vertices and the logits
+// gradient.
+func Loss(act *Activations, labels []int) (float64, *dense.Matrix) {
+	return dense.CrossEntropy(act.Logits, labels)
+}

@@ -1,0 +1,339 @@
+// Package graphio serializes graphs and datasets to a compact binary
+// format so generated benchmark inputs can be saved, shared and
+// reloaded without regenerating (R-MAT generation at the bench profile
+// takes ~10s; loading takes a fraction of that).
+//
+// Format (little-endian):
+//
+//	magic "GNNDS1\n" | section tag bytes | payloads
+//
+// Sections: 'A' adjacency CSR, 'F' dense features, 'L' labels +
+// splits, 'M' metadata. All integers are int64 on the wire.
+package graphio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/datasets"
+	"repro/internal/dense"
+	"repro/internal/graph"
+	"repro/internal/sparse"
+)
+
+var magic = []byte("GNNDS1\n")
+
+// WriteCSR writes a sparse matrix.
+func WriteCSR(w io.Writer, m *sparse.CSR) error {
+	if err := writeInts(w, int64(m.Rows), int64(m.Cols), int64(m.NNZ())); err != nil {
+		return err
+	}
+	for _, p := range m.RowPtr {
+		if err := writeInts(w, int64(p)); err != nil {
+			return err
+		}
+	}
+	for _, c := range m.ColIdx {
+		if err := writeInts(w, int64(c)); err != nil {
+			return err
+		}
+	}
+	for _, v := range m.Val {
+		if err := binary.Write(w, binary.LittleEndian, math.Float64bits(v)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadCSR reads a sparse matrix written by WriteCSR.
+func ReadCSR(r io.Reader) (*sparse.CSR, error) {
+	dims, err := readInts(r, 3)
+	if err != nil {
+		return nil, err
+	}
+	rows, cols, nnz := int(dims[0]), int(dims[1]), int(dims[2])
+	if rows < 0 || cols < 0 || nnz < 0 {
+		return nil, fmt.Errorf("graphio: negative dimensions in header")
+	}
+	m := &sparse.CSR{Rows: rows, Cols: cols,
+		RowPtr: make([]int, rows+1), ColIdx: make([]int, nnz), Val: make([]float64, nnz)}
+	for i := range m.RowPtr {
+		v, err := readInts(r, 1)
+		if err != nil {
+			return nil, err
+		}
+		m.RowPtr[i] = int(v[0])
+	}
+	for i := range m.ColIdx {
+		v, err := readInts(r, 1)
+		if err != nil {
+			return nil, err
+		}
+		m.ColIdx[i] = int(v[0])
+	}
+	for i := range m.Val {
+		var bits uint64
+		if err := binary.Read(r, binary.LittleEndian, &bits); err != nil {
+			return nil, err
+		}
+		m.Val[i] = math.Float64frombits(bits)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("graphio: loaded matrix invalid: %w", err)
+	}
+	return m, nil
+}
+
+// WriteDense writes a dense matrix.
+func WriteDense(w io.Writer, m *dense.Matrix) error {
+	if err := writeInts(w, int64(m.Rows), int64(m.Cols)); err != nil {
+		return err
+	}
+	buf := make([]byte, 8)
+	for _, v := range m.Data {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadDense reads a dense matrix written by WriteDense.
+func ReadDense(r io.Reader) (*dense.Matrix, error) {
+	dims, err := readInts(r, 2)
+	if err != nil {
+		return nil, err
+	}
+	rows, cols := int(dims[0]), int(dims[1])
+	if rows < 0 || cols < 0 || rows*cols < 0 {
+		return nil, fmt.Errorf("graphio: bad dense dimensions %dx%d", rows, cols)
+	}
+	m := dense.New(rows, cols)
+	buf := make([]byte, 8)
+	for i := range m.Data {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		m.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+	}
+	return m, nil
+}
+
+// WriteDataset serializes a full dataset.
+func WriteDataset(w io.Writer, d *datasets.Dataset) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(magic); err != nil {
+		return err
+	}
+	if err := writeString(bw, d.Name); err != nil {
+		return err
+	}
+	if err := writeInts(bw,
+		int64(d.NumClasses), int64(d.BatchSize), int64(d.LayerWidth)); err != nil {
+		return err
+	}
+	if err := writeIntSlice(bw, d.Fanouts); err != nil {
+		return err
+	}
+	if err := WriteCSR(bw, d.Graph.Adj); err != nil {
+		return err
+	}
+	if err := WriteDense(bw, d.Features); err != nil {
+		return err
+	}
+	for _, s := range [][]int{d.Labels, d.Train, d.Val, d.Test} {
+		if err := writeIntSlice(bw, s); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadDataset loads a dataset written by WriteDataset.
+func ReadDataset(r io.Reader) (*datasets.Dataset, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, err
+	}
+	if string(head) != string(magic) {
+		return nil, fmt.Errorf("graphio: bad magic %q", head)
+	}
+	name, err := readString(br)
+	if err != nil {
+		return nil, err
+	}
+	meta, err := readInts(br, 3)
+	if err != nil {
+		return nil, err
+	}
+	fanouts, err := readIntSlice(br)
+	if err != nil {
+		return nil, err
+	}
+	adj, err := ReadCSR(br)
+	if err != nil {
+		return nil, err
+	}
+	feats, err := ReadDense(br)
+	if err != nil {
+		return nil, err
+	}
+	var slices [4][]int
+	for i := range slices {
+		s, err := readIntSlice(br)
+		if err != nil {
+			return nil, err
+		}
+		slices[i] = s
+	}
+	d := &datasets.Dataset{
+		Name:       name,
+		Graph:      graph.New(adj),
+		Features:   feats,
+		Labels:     slices[0],
+		NumClasses: int(meta[0]),
+		Train:      slices[1],
+		Val:        slices[2],
+		Test:       slices[3],
+		BatchSize:  int(meta[1]),
+		Fanouts:    fanouts,
+		LayerWidth: int(meta[2]),
+	}
+	if len(d.Labels) != d.Graph.NumVertices() {
+		return nil, fmt.Errorf("graphio: %d labels for %d vertices", len(d.Labels), d.Graph.NumVertices())
+	}
+	if d.Features.Rows != d.Graph.NumVertices() {
+		return nil, fmt.Errorf("graphio: %d feature rows for %d vertices", d.Features.Rows, d.Graph.NumVertices())
+	}
+	return d, nil
+}
+
+func writeInts(w io.Writer, vs ...int64) error {
+	buf := make([]byte, 8)
+	for _, v := range vs {
+		binary.LittleEndian.PutUint64(buf, uint64(v))
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readInts(r io.Reader, n int) ([]int64, error) {
+	buf := make([]byte, 8)
+	out := make([]int64, n)
+	for i := range out {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		out[i] = int64(binary.LittleEndian.Uint64(buf))
+	}
+	return out, nil
+}
+
+func writeIntSlice(w io.Writer, s []int) error {
+	if err := writeInts(w, int64(len(s))); err != nil {
+		return err
+	}
+	for _, v := range s {
+		if err := writeInts(w, int64(v)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readIntSlice(r io.Reader) ([]int, error) {
+	n, err := readInts(r, 1)
+	if err != nil {
+		return nil, err
+	}
+	if n[0] < 0 || n[0] > 1<<40 {
+		return nil, fmt.Errorf("graphio: implausible slice length %d", n[0])
+	}
+	vals, err := readInts(r, int(n[0]))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(vals))
+	for i, v := range vals {
+		out[i] = int(v)
+	}
+	return out, nil
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := writeInts(w, int64(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	n, err := readInts(r, 1)
+	if err != nil {
+		return "", err
+	}
+	if n[0] < 0 || n[0] > 1<<20 {
+		return "", fmt.Errorf("graphio: implausible string length %d", n[0])
+	}
+	buf := make([]byte, n[0])
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// WriteParams serializes a flat parameter vector (model checkpoint).
+func WriteParams(w io.Writer, params []float64) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write([]byte("GNNCK1\n")); err != nil {
+		return err
+	}
+	if err := writeInts(bw, int64(len(params))); err != nil {
+		return err
+	}
+	buf := make([]byte, 8)
+	for _, v := range params {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadParams loads a checkpoint written by WriteParams.
+func ReadParams(r io.Reader) ([]float64, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head := make([]byte, 7)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, err
+	}
+	if string(head) != "GNNCK1\n" {
+		return nil, fmt.Errorf("graphio: bad checkpoint magic %q", head)
+	}
+	n, err := readInts(br, 1)
+	if err != nil {
+		return nil, err
+	}
+	if n[0] < 0 || n[0] > 1<<32 {
+		return nil, fmt.Errorf("graphio: implausible parameter count %d", n[0])
+	}
+	out := make([]float64, n[0])
+	buf := make([]byte, 8)
+	for i := range out {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, err
+		}
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+	}
+	return out, nil
+}

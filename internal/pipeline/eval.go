@@ -1,0 +1,112 @@
+package pipeline
+
+import (
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/dense"
+	"repro/internal/gnn"
+	"repro/internal/graph"
+)
+
+// Run0Params returns freshly initialized (untrained) parameters for
+// the configuration — the accuracy baseline for sanity checks.
+func Run0Params(d *datasets.Dataset, cfg Config) []float64 {
+	cfg = cfg.withDefaults(d)
+	m := gnn.NewModel(gnn.Config{
+		In:      d.Features.Cols,
+		Hidden:  cfg.Hidden,
+		Classes: d.NumClasses,
+		Layers:  cfg.Layers,
+		Seed:    cfg.Seed,
+	})
+	return m.Params()
+}
+
+// Evaluate computes classification accuracy of the trained parameters
+// over the given vertex set, sampling their neighborhoods with the
+// same fanouts used in training (the paper evaluates with a larger
+// test fanout; pass testFanouts to override). Runs locally — accuracy
+// is a model property, not a systems one.
+func Evaluate(d *datasets.Dataset, params []float64, cfg Config, vertices []int, testFanouts []int) float64 {
+	cfg = cfg.withDefaults(d)
+	model := gnn.NewModel(gnn.Config{
+		In:      d.Features.Cols,
+		Hidden:  cfg.Hidden,
+		Classes: d.NumClasses,
+		Layers:  cfg.Layers,
+		Agg:     cfg.Agg,
+		Seed:    cfg.Seed,
+	})
+	model.SetParams(params)
+
+	fanouts := testFanouts
+	layerwise := cfg.Sampler == "ladies" || cfg.Sampler == "fastgcn"
+	if fanouts == nil {
+		fanouts = d.Fanouts
+		if layerwise {
+			fanouts = make([]int, cfg.Layers)
+			for i := range fanouts {
+				fanouts[i] = d.LayerWidth
+			}
+		}
+	}
+	var sampler core.Sampler
+	switch cfg.Sampler {
+	case "ladies":
+		sampler = core.LADIES{}
+	case "fastgcn":
+		sampler = core.FastGCN{}
+	default:
+		sampler = core.SAGE{}
+	}
+
+	correct, total := 0, 0
+	for _, batch := range graph.Batches(vertices, d.BatchSize) {
+		bulk := core.SampleBulk(sampler, d.Graph.Adj, [][]int{batch}, fanouts, cfg.Seed+555)
+		bg := bulk.ExtractBatch(0)
+		feats := gnn.GatherFeatures(d.Features, bg.InputVertices())
+		act, _ := model.Forward(bg, feats)
+		labels := make([]int, len(bg.Seeds))
+		for i, v := range bg.Seeds {
+			labels[i] = d.Labels[v]
+		}
+		acc := dense.Accuracy(act.Logits, labels)
+		correct += int(acc*float64(len(labels)) + 0.5)
+		total += len(labels)
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// EvaluateFull computes exact (full-batch, non-sampled) accuracy over
+// the given vertices: every layer aggregates over the entire graph.
+// This is the sampling-free reference that sampled evaluation
+// approximates; the gap between the two is the accuracy cost of
+// sampling.
+func EvaluateFull(d *datasets.Dataset, params []float64, cfg Config, vertices []int) float64 {
+	cfg = cfg.withDefaults(d)
+	model := gnn.NewModel(gnn.Config{
+		In:      d.Features.Cols,
+		Hidden:  cfg.Hidden,
+		Classes: d.NumClasses,
+		Layers:  cfg.Layers,
+		Agg:     cfg.Agg,
+		Seed:    cfg.Seed,
+	})
+	model.SetParams(params)
+	bg := core.FullGraphBatch(d.Graph.Adj, cfg.Layers)
+	act, _ := model.Forward(bg, d.Features)
+	pred := dense.Argmax(act.Logits)
+	correct := 0
+	for _, v := range vertices {
+		if pred[v] == d.Labels[v] {
+			correct++
+		}
+	}
+	if len(vertices) == 0 {
+		return 0
+	}
+	return float64(correct) / float64(len(vertices))
+}

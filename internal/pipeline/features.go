@@ -1,0 +1,137 @@
+// Package pipeline implements the paper's end-to-end training pipeline
+// (Section 6, Figure 3): bulk sampling, feature fetching with
+// all-to-allv over process columns of the 1.5D-partitioned feature
+// matrix, and per-minibatch forward/backward propagation with
+// data-parallel gradient all-reduce.
+package pipeline
+
+import (
+	"repro/internal/cache"
+	"repro/internal/cluster"
+	"repro/internal/dense"
+	"repro/internal/graph"
+)
+
+// FeatureStore is a rank's share of the 1.5D-partitioned feature
+// matrix H: block row [Lo, Hi), replicated on the c members of the
+// rank's process row. Each process column therefore holds the entirety
+// of H (Section 6.2).
+type FeatureStore struct {
+	Grid   *cluster.Grid
+	H      *dense.Matrix // rows [Lo, Hi) of the global feature matrix
+	Lo, Hi int
+	N      int
+
+	// global backs cache serving in the simulation: a cached row's
+	// contents equal the global row (a real cache would have copied
+	// it at prefetch or on first fetch).
+	global *dense.Matrix
+}
+
+// NewFeatureStores slices the global feature matrix into the grid's
+// block rows. Replicas in a process row share storage (they would hold
+// identical copies on real hardware).
+func NewFeatureStores(g *cluster.Grid, feats *dense.Matrix) []*FeatureStore {
+	blocks := make([]*FeatureStore, g.Rows)
+	for i := 0; i < g.Rows; i++ {
+		lo, hi := graph.BlockRowRange(feats.Rows, g.Rows, i)
+		h := dense.New(hi-lo, feats.Cols)
+		copy(h.Data, feats.Data[lo*feats.Cols:hi*feats.Cols])
+		blocks[i] = &FeatureStore{Grid: g, H: h, Lo: lo, Hi: hi, N: feats.Rows, global: feats}
+	}
+	out := make([]*FeatureStore, g.P)
+	for rank := 0; rank < g.P; rank++ {
+		out[rank] = blocks[g.RowIndex(rank)]
+	}
+	return out
+}
+
+// fetchRequest asks an owner for specific global vertex rows.
+type fetchRequest struct {
+	vertices []int
+}
+
+// fetchResponse returns the requested rows, in request order.
+type fetchResponse struct {
+	rows *dense.Matrix
+}
+
+// Fetch assembles the feature rows of the given global vertices via
+// all-to-allv over the rank's process column (every column holds all
+// of H). Vertices may repeat. The two collective rounds — requests,
+// then row data — both really move the data; the row-data round
+// dominates the modeled cost, and its volume shrinks as the
+// replication factor c grows because each rank owns a larger block of
+// H (the scaling lever of Figure 6).
+func (fs *FeatureStore) Fetch(r *cluster.Rank, vertices []int) *dense.Matrix {
+	return fs.FetchCached(r, vertices, nil)
+}
+
+// FetchCached is Fetch with an optional per-rank feature cache (the
+// SALIENT++-style extension of Section 8.1.2): cached vertices are
+// served from device memory and never enter the all-to-allv, shrinking
+// the communication volume. Rows fetched remotely are admitted to the
+// cache. Pass a nil cache to disable.
+func (fs *FeatureStore) FetchCached(r *cluster.Rank, vertices []int, c cache.Cache) *dense.Matrix {
+	g := fs.Grid
+	colComm := g.ColComm(r.ID)
+	members := colComm.Size() // == g.Rows
+	f := fs.H.Cols
+	out := dense.New(len(vertices), f)
+
+	// Partition the request by owning block row, remembering where
+	// each vertex goes in the output. Cache hits are served
+	// immediately from device memory.
+	reqs := make([]*fetchRequest, members)
+	slotOf := make([][]int, members) // output positions per owner
+	for m := range reqs {
+		reqs[m] = &fetchRequest{}
+	}
+	var cachedBytes int64
+	for i, v := range vertices {
+		owner := graph.BlockOwner(fs.N, members, v)
+		if c != nil && owner != colComm.LocalIndex(r) && c.Lookup(v) {
+			copy(out.RowView(i), fs.global.RowView(v))
+			cachedBytes += int64(8 * f)
+			continue
+		}
+		reqs[owner].vertices = append(reqs[owner].vertices, v)
+		slotOf[owner] = append(slotOf[owner], i)
+	}
+	if cachedBytes > 0 {
+		r.ChargeMem(cachedBytes)
+	}
+
+	incoming := cluster.AllToAllv(colComm, r, reqs, func(q *fetchRequest) int {
+		return 8 * len(q.vertices)
+	})
+
+	// Serve each requester from the local block.
+	resps := make([]*fetchResponse, members)
+	var served int64
+	for m, q := range incoming {
+		rows := dense.New(len(q.vertices), f)
+		for i, v := range q.vertices {
+			copy(rows.RowView(i), fs.H.RowView(v-fs.Lo))
+		}
+		resps[m] = &fetchResponse{rows: rows}
+		served += int64(len(q.vertices) * f * 8)
+	}
+	r.ChargeMem(served)
+
+	got := cluster.AllToAllv(colComm, r, resps, func(p *fetchResponse) int {
+		return p.rows.Bytes()
+	})
+
+	me := colComm.LocalIndex(r)
+	for m, p := range got {
+		for i, slot := range slotOf[m] {
+			copy(out.RowView(slot), p.rows.RowView(i))
+			if c != nil && m != me {
+				c.Admit(reqs[m].vertices[i])
+			}
+		}
+	}
+	r.ChargeMem(int64(len(vertices) * f * 8))
+	return out
+}

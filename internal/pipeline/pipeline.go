@@ -1,0 +1,433 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/dense"
+	"repro/internal/distsample"
+	"repro/internal/gnn"
+)
+
+// Phase names for the Figure 4 breakdown.
+const (
+	PhaseSampling     = "sampling"
+	PhaseFeatureFetch = "feature-fetch"
+	PhasePropagation  = "propagation"
+)
+
+// Algorithm selects the distributed sampling strategy.
+type Algorithm int
+
+const (
+	// GraphReplicated replicates A on every rank (Section 5.1).
+	GraphReplicated Algorithm = iota
+	// GraphPartitioned partitions A 1.5D across the grid (Section 5.2).
+	GraphPartitioned
+)
+
+// Config drives one simulated training run.
+type Config struct {
+	P int // simulated GPUs
+	C int // replication factor (chosen per memory in Figure 4)
+	K int // bulk size: minibatches sampled per bulk call globally; 0 = all
+
+	Algorithm     Algorithm
+	SparsityAware bool // Algorithm 2 row fetching (vs oblivious broadcast)
+
+	// HierAllReduce uses the two-level (intra-node, then leaders)
+	// gradient all-reduce instead of the flat tree — the NCCL-style
+	// algorithm that keeps network traffic proportional to node count.
+	HierAllReduce bool
+
+	// Overlap software-pipelines bulk sampling against feature fetch
+	// and propagation (Graph Replicated only, where sampling is
+	// communication-free): round r+1's sampling cost is charged only
+	// to the extent it exceeds round r's training time. The paper's
+	// pipeline is bulk synchronous; this is the natural next
+	// optimization its structure permits.
+	Overlap bool
+
+	Sampler string // "sage", "ladies" or "fastgcn"
+	Hidden  int
+	Layers  int // GNN depth; LADIES presets use 1 (Table 4)
+
+	// Dropout applies inverted dropout at this rate on hidden
+	// activations during training (0 disables).
+	Dropout float64
+	// Agg selects the neighbor aggregation (default GraphSAGE mean).
+	Agg gnn.Aggregator
+
+	// CachePolicy enables per-rank feature caching in the fetch step
+	// (the SALIENT++-style extension of Section 8.1.2). CacheFrac is
+	// the per-rank cache capacity as a fraction of the vertex count.
+	CachePolicy cache.Policy
+	CacheFrac   float64
+
+	Epochs     int
+	LR         float64
+	MaxBatches int // process at most this many global batches per epoch (0 = all); timings are extrapolated
+	// TrackVal evaluates validation accuracy after every epoch
+	// (sampled evaluation on the dataset's Val split).
+	TrackVal bool
+
+	Seed  int64
+	Model cluster.CostModel
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults(d *datasets.Dataset) Config {
+	if c.C <= 0 {
+		c.C = 1
+	}
+	if c.Hidden == 0 {
+		c.Hidden = 64
+	}
+	if c.Sampler == "" {
+		c.Sampler = "sage"
+	}
+	if c.Layers == 0 {
+		if c.Sampler == "ladies" || c.Sampler == "fastgcn" {
+			c.Layers = 1
+		} else {
+			c.Layers = len(d.Fanouts)
+		}
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 1
+	}
+	if c.LR == 0 {
+		c.LR = 0.01
+	}
+	if c.Model.GPUsPerNode == 0 {
+		c.Model = cluster.Perlmutter()
+	}
+	return c
+}
+
+// EpochStats is the per-epoch breakdown of Figure 4: simulated seconds
+// per pipeline phase (max across ranks), plus training metrics.
+type EpochStats struct {
+	Sampling     float64
+	FeatureFetch float64
+	Propagation  float64
+	Total        float64
+	SamplingComm float64
+	FetchComm    float64
+	Loss         float64
+	// ValAccuracy is populated when Config.TrackVal is set.
+	ValAccuracy float64
+}
+
+// Result aggregates a run.
+type Result struct {
+	Epochs  []EpochStats
+	Cluster *cluster.Result
+	// Params holds rank 0's trained parameters.
+	Params []float64
+	Cfg    Config
+}
+
+// LastEpoch returns the final epoch's stats.
+func (r *Result) LastEpoch() EpochStats { return r.Epochs[len(r.Epochs)-1] }
+
+// schedule fixes, identically on every rank, how many bulk-sampling
+// rounds an epoch has and how many training iterations each round has,
+// so all ranks issue the same collective sequence even when batch
+// counts divide unevenly (ranks without a real batch join with dummy
+// work).
+type schedule struct {
+	samplingBlocks int // ranks (replicated) or grid rows (partitioned) sharing the batch list
+	sampPerRound   int // batches each sampling block handles per bulk round
+	rounds         int
+	trainPerRound  int // training iterations per round per rank
+	trainStride    int // replicated: 1; partitioned: c (row members interleave)
+}
+
+func makeSchedule(cfg Config, grid *cluster.Grid, totalBatches int) schedule {
+	s := schedule{trainStride: 1, samplingBlocks: cfg.P}
+	if cfg.Algorithm == GraphPartitioned {
+		s.samplingBlocks = grid.Rows
+		s.trainStride = cfg.C
+	}
+	bulk := cfg.K
+	if bulk <= 0 || bulk > totalBatches {
+		bulk = totalBatches
+	}
+	s.sampPerRound = bulk / s.samplingBlocks
+	if s.sampPerRound == 0 {
+		s.sampPerRound = 1
+	}
+	// The largest block owns ceil(total/blocks) batches.
+	maxLocal := (totalBatches + s.samplingBlocks - 1) / s.samplingBlocks
+	s.rounds = (maxLocal + s.sampPerRound - 1) / s.sampPerRound
+	if s.rounds == 0 {
+		s.rounds = 1
+	}
+	s.trainPerRound = (s.sampPerRound + s.trainStride - 1) / s.trainStride
+	return s
+}
+
+// blockScale returns the extrapolation factor from a truncated batch
+// list to the full epoch: the ratio of the largest per-block share of
+// batches. blocks is the number of units the batch list is split over
+// (p ranks for the replicated algorithm, p/c grid rows for the
+// partitioned one).
+func BlockScale(total, processed, blocks int) float64 {
+	if processed >= total || processed == 0 {
+		return 1
+	}
+	per := func(n int) float64 { return float64((n + blocks - 1) / blocks) }
+	return per(total) / per(processed)
+}
+
+// Run simulates cfg.Epochs of distributed minibatch training over the
+// dataset and returns per-epoch phase breakdowns.
+func Run(d *datasets.Dataset, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults(d)
+	if cfg.P%cfg.C != 0 {
+		return nil, fmt.Errorf("pipeline: c=%d must divide p=%d", cfg.C, cfg.P)
+	}
+	cl := cluster.New(cfg.P, cfg.Model)
+	grid := cluster.NewGrid(cl, cfg.P, cfg.C)
+	stores := NewFeatureStores(grid, d.Features)
+
+	var parts []*distsample.Partitioned
+	if cfg.Algorithm == GraphPartitioned {
+		if grid.Rows%grid.C != 0 {
+			return nil, fmt.Errorf("pipeline: partitioned algorithm needs c^2 | p (p=%d c=%d)", cfg.P, cfg.C)
+		}
+		parts = distsample.NewPartitionedSet(grid, d.Graph.Adj, cfg.SparsityAware)
+	}
+
+	batches := d.Batches()
+	totalBatches := len(batches)
+	if cfg.MaxBatches > 0 && cfg.MaxBatches < totalBatches {
+		batches = batches[:cfg.MaxBatches]
+	}
+	sched := makeSchedule(cfg, grid, len(batches))
+	// Extrapolation for MaxBatches truncation is per sampling block
+	// (rank or grid row), not global: phase times are maxima across
+	// ranks, so they scale with the largest per-block share.
+	scale := BlockScale(totalBatches, len(batches), sched.samplingBlocks)
+
+	layerwise := cfg.Sampler == "ladies" || cfg.Sampler == "fastgcn"
+	fanouts := d.Fanouts
+	if layerwise {
+		fanouts = make([]int, cfg.Layers)
+		for i := range fanouts {
+			fanouts[i] = d.LayerWidth
+		}
+	}
+	if len(fanouts) != cfg.Layers {
+		f := make([]int, cfg.Layers)
+		for i := range f {
+			f[i] = fanouts[i%len(fanouts)]
+		}
+		fanouts = f
+	}
+
+	losses := make([][]float64, cfg.P)
+	var finalParams []float64
+	var epochParams [][]float64 // rank 0 per-epoch snapshots for TrackVal
+	if cfg.TrackVal {
+		epochParams = make([][]float64, cfg.Epochs)
+	}
+	world := grid.World()
+
+	res, err := cl.Run(func(r *cluster.Rank) error {
+		model := gnn.NewModel(gnn.Config{
+			In:      d.Features.Cols,
+			Hidden:  cfg.Hidden,
+			Classes: d.NumClasses,
+			Layers:  cfg.Layers,
+			Agg:     cfg.Agg,
+			Seed:    cfg.Seed,
+		})
+		if cfg.Dropout > 0 {
+			model.SetDropout(cfg.Dropout, cfg.Seed)
+		}
+		opt := dense.NewAdam(cfg.LR)
+		store := stores[r.ID]
+		losses[r.ID] = make([]float64, cfg.Epochs)
+		var featCache cache.Cache
+		if cfg.CachePolicy != cache.None && cfg.CacheFrac > 0 {
+			capacity := int(cfg.CacheFrac * float64(d.Graph.NumVertices()))
+			featCache = cache.New(cfg.CachePolicy, capacity, d.Graph.Degrees())
+		}
+
+		var local [][]int
+		trainOffset := 0
+		if cfg.Algorithm == GraphPartitioned {
+			local = distsample.LocalBatches(grid, r.ID, batches)
+			trainOffset = grid.ColIndex(r.ID)
+		} else {
+			local = distsample.ReplicatedBatches(cfg.P, r.ID, batches)
+		}
+
+		for epoch := 0; epoch < cfg.Epochs; epoch++ {
+			epochSeed := cfg.Seed + int64(epoch)*7919
+			lossSum, lossN := 0.0, 0
+
+			hiddenBudget := 0.0
+			for round := 0; round < sched.rounds; round++ {
+				lo := round * sched.sampPerRound
+				hi := lo + sched.sampPerRound
+				if lo > len(local) {
+					lo = len(local)
+				}
+				if hi > len(local) {
+					hi = len(local)
+				}
+				chunk := local[lo:hi]
+
+				// 1) Sampling step (Figure 3 left). Every rank calls
+				// the same sampler the same number of times; empty
+				// chunks still join the partitioned collectives.
+				r.SetPhase(PhaseSampling)
+				r.PushPhase(PhaseSampling) // nested level for the driver's sub-phases
+				var bulk *core.BulkSample
+				if cfg.Algorithm == GraphPartitioned {
+					switch cfg.Sampler {
+					case "ladies":
+						bulk = distsample.SampleLADIESPartitioned(r, parts[r.ID], chunk, d.LayerWidth, cfg.Layers, epochSeed)
+					case "fastgcn":
+						bulk = distsample.SampleFastGCNPartitioned(r, parts[r.ID], chunk, d.LayerWidth, cfg.Layers, epochSeed)
+					default:
+						bulk = distsample.SampleSAGEPartitioned(r, parts[r.ID], chunk, fanouts, epochSeed)
+					}
+				} else if cfg.Overlap {
+					// Overlapped schedule: compute the bulk now (the
+					// data is needed this round) but charge only the
+					// slice of its cost that last round's training did
+					// not hide.
+					var sampler core.Sampler
+					switch cfg.Sampler {
+					case "ladies":
+						sampler = core.LADIES{}
+					case "fastgcn":
+						sampler = core.FastGCN{}
+					default:
+						sampler = core.SAGE{}
+					}
+					bulk = core.SampleBulk(sampler, d.Graph.Adj, chunk, fanouts, epochSeed)
+					sampleSec := r.SparseSeconds(bulk.Cost.Total()) + r.KernelSeconds(bulk.Cost.Kernels)
+					exposed := sampleSec - hiddenBudget
+					if exposed < 0 {
+						exposed = 0
+					}
+					r.AdvanceBy(exposed)
+					hiddenBudget = 0
+				} else {
+					var sampler core.Sampler
+					switch cfg.Sampler {
+					case "ladies":
+						sampler = core.LADIES{}
+					case "fastgcn":
+						sampler = core.FastGCN{}
+					default:
+						sampler = core.SAGE{}
+					}
+					bulk = distsample.SampleReplicated(r, sampler, d.Graph.Adj, chunk, fanouts, epochSeed)
+				}
+				r.PopPhase()
+				trainStart := r.Clock()
+
+				// 2/3) Feature fetch + propagation, one minibatch per
+				// training iteration; iterations without a real batch
+				// contribute zero gradients.
+				for t := 0; t < sched.trainPerRound; t++ {
+					bi := t*sched.trainStride + trainOffset
+					real := bi < len(chunk)
+
+					var bg *core.BatchGraph
+					var verts []int
+					if real {
+						bg = bulk.ExtractBatch(bi)
+						verts = bg.InputVertices()
+					}
+
+					r.SetPhase(PhaseFeatureFetch)
+					feats := store.FetchCached(r, verts, featCache)
+
+					r.SetPhase(PhasePropagation)
+					grads := make([]float64, model.NumParams())
+					if real {
+						act, fwdFlops := model.Forward(bg, feats)
+						labels := make([]int, len(bg.Seeds))
+						for i, v := range bg.Seeds {
+							labels[i] = d.Labels[v]
+						}
+						loss, dLogits := gnn.Loss(act, labels)
+						g, bwdFlops := model.Backward(act, dLogits)
+						grads = g
+						r.ChargeDense(fwdFlops + bwdFlops)
+						r.ChargeKernels(4 * cfg.Layers)
+						lossSum += loss
+						lossN++
+					}
+
+					// Data-parallel gradient all-reduce, then an
+					// identical optimizer step on every rank.
+					var sum []float64
+					if cfg.HierAllReduce {
+						sum = cluster.AllReduceSumHier(world, r, grads)
+					} else {
+						sum = cluster.AllReduceSum(world, r, grads)
+					}
+					inv := 1.0 / float64(cfg.P)
+					for i := range sum {
+						sum[i] *= inv
+					}
+					opt.Step(model.Params(), sum)
+					model.NextDropoutSeed()
+					r.ChargeDense(int64(3 * len(sum)))
+				}
+				// Training time this round can hide the next round's
+				// sampling in the overlapped schedule.
+				hiddenBudget = r.Clock() - trainStart
+			}
+			if lossN > 0 {
+				losses[r.ID][epoch] = lossSum / float64(lossN)
+			}
+			if cfg.TrackVal && r.ID == 0 {
+				epochParams[epoch] = append([]float64(nil), model.Params()...)
+			}
+		}
+		if r.ID == 0 {
+			finalParams = append([]float64(nil), model.Params()...)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase totals cover all epochs; each epoch does identical work, so
+	// divide evenly and extrapolate for MaxBatches truncation.
+	epochs := make([]EpochStats, cfg.Epochs)
+	perEpoch := func(phase string) float64 {
+		return res.Phase(phase) * scale / float64(cfg.Epochs)
+	}
+	perEpochComm := func(phase string) float64 {
+		return res.PhaseComm(phase) * scale / float64(cfg.Epochs)
+	}
+	for e := range epochs {
+		epochs[e] = EpochStats{
+			Sampling:     perEpoch(PhaseSampling),
+			FeatureFetch: perEpoch(PhaseFeatureFetch),
+			Propagation:  perEpoch(PhasePropagation),
+			SamplingComm: perEpochComm(PhaseSampling),
+			FetchComm:    perEpochComm(PhaseFeatureFetch),
+			Loss:         losses[0][e],
+		}
+		epochs[e].Total = epochs[e].Sampling + epochs[e].FeatureFetch + epochs[e].Propagation
+		if cfg.TrackVal && epochParams[e] != nil {
+			epochs[e].ValAccuracy = Evaluate(d, epochParams[e], cfg, d.Val, nil)
+		}
+	}
+	return &Result{Epochs: epochs, Cluster: res, Params: finalParams, Cfg: cfg}, nil
+}

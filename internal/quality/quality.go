@@ -1,0 +1,140 @@
+// Package quality measures the statistical quality of sampling
+// algorithms: how well sampled neighborhood aggregation approximates
+// exact aggregation. This quantifies the accuracy trade-offs behind
+// the paper's sampler taxonomy discussion (Section 2.2: FastGCN's
+// off-neighborhood samples "affect accuracy when training"; LADIES
+// restricts support to fix that).
+package quality
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dense"
+	"repro/internal/sparse"
+)
+
+// AggregationError reports how far sampled mean-aggregation deviates
+// from exact mean-aggregation for a set of seed vertices.
+type AggregationError struct {
+	Sampler string
+	// MSE is the mean squared error between sampled and exact
+	// aggregated features, averaged over seeds, features and
+	// repetitions.
+	MSE float64
+	// Bias is the squared norm of the mean deviation (estimator bias
+	// component of the MSE).
+	Bias float64
+	// Reps is the number of sampling repetitions measured.
+	Reps int
+}
+
+// exactAggregation computes the exact mean-aggregated neighbor
+// features of each seed.
+func exactAggregation(adj *sparse.CSR, feats *dense.Matrix, seeds []int) *dense.Matrix {
+	out := dense.New(len(seeds), feats.Cols)
+	for i, v := range seeds {
+		cols, _ := adj.Row(v)
+		if len(cols) == 0 {
+			continue
+		}
+		dst := out.RowView(i)
+		for _, u := range cols {
+			src := feats.RowView(u)
+			for j := range dst {
+				dst[j] += src[j]
+			}
+		}
+		inv := 1 / float64(len(cols))
+		for j := range dst {
+			dst[j] *= inv
+		}
+	}
+	return out
+}
+
+// sampledAggregation computes one repetition of sampled mean
+// aggregation: each seed averages the features of its sampled
+// neighbors from a one-layer bulk sample.
+func sampledAggregation(s core.Sampler, adj *sparse.CSR, feats *dense.Matrix, seeds []int, fanout int, seed int64) *dense.Matrix {
+	bulk := core.SampleBulk(s, adj, [][]int{seeds}, []int{fanout}, seed)
+	bg := bulk.ExtractBatch(0)
+	layer := bg.Adjs[0]
+	out := dense.New(len(seeds), feats.Cols)
+	for i := 0; i < layer.Rows; i++ {
+		cols, _ := layer.Row(i)
+		if len(cols) == 0 {
+			continue
+		}
+		dst := out.RowView(i)
+		for _, c := range cols {
+			src := feats.RowView(bg.Frontiers[1][c])
+			for j := range dst {
+				dst[j] += src[j]
+			}
+		}
+		inv := 1 / float64(len(cols))
+		for j := range dst {
+			dst[j] *= inv
+		}
+	}
+	return out
+}
+
+// MeasureAggregationError estimates the MSE and bias of a sampler's
+// one-layer aggregation against the exact aggregation, over reps
+// repetitions with distinct seeds.
+func MeasureAggregationError(s core.Sampler, adj *sparse.CSR, feats *dense.Matrix, seeds []int, fanout, reps int, baseSeed int64) AggregationError {
+	exact := exactAggregation(adj, feats, seeds)
+	n := len(seeds) * feats.Cols
+
+	sumSq := 0.0
+	meanDev := make([]float64, n)
+	for rep := 0; rep < reps; rep++ {
+		approx := sampledAggregation(s, adj, feats, seeds, fanout, baseSeed+int64(rep)*104729)
+		for i := range approx.Data {
+			d := approx.Data[i] - exact.Data[i]
+			sumSq += d * d
+			meanDev[i] += d
+		}
+	}
+	biasSq := 0.0
+	for _, d := range meanDev {
+		avg := d / float64(reps)
+		biasSq += avg * avg
+	}
+	return AggregationError{
+		Sampler: s.Name(),
+		MSE:     sumSq / float64(n*reps),
+		Bias:    biasSq / float64(n),
+		Reps:    reps,
+	}
+}
+
+// FrontierBudget reports the average number of distinct vertices a
+// sampler touches per batch at the given fanout — the memory/work
+// budget its estimator quality is bought with.
+func FrontierBudget(s core.Sampler, adj *sparse.CSR, seeds []int, fanout int, seed int64) float64 {
+	bulk := core.SampleBulk(s, adj, [][]int{seeds}, []int{fanout}, seed)
+	distinct := map[int]struct{}{}
+	for _, v := range bulk.Layers[0].Cols.Vertices {
+		distinct[v] = struct{}{}
+	}
+	return float64(len(distinct))
+}
+
+// RelativeStd returns sqrt(MSE) normalized by the exact aggregation's
+// RMS magnitude — a scale-free error measure for comparisons across
+// feature distributions.
+func RelativeStd(e AggregationError, adj *sparse.CSR, feats *dense.Matrix, seeds []int) float64 {
+	exact := exactAggregation(adj, feats, seeds)
+	rms := 0.0
+	for _, v := range exact.Data {
+		rms += v * v
+	}
+	rms = math.Sqrt(rms / float64(len(exact.Data)))
+	if rms == 0 {
+		return 0
+	}
+	return math.Sqrt(e.MSE) / rms
+}

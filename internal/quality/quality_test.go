@@ -1,0 +1,100 @@
+package quality
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dense"
+	"repro/internal/graph"
+)
+
+func scenario(seed int64) (adj *graph.Graph, feats *dense.Matrix, seeds []int) {
+	g := graph.EnsureMinOutDegree(graph.ErdosRenyi(300, 12, seed), 4, seed+1)
+	rng := rand.New(rand.NewSource(seed + 2))
+	f := dense.New(300, 8)
+	for i := range f.Data {
+		f.Data[i] = rng.NormFloat64()
+	}
+	seeds = make([]int, 32)
+	for i := range seeds {
+		seeds[i] = rng.Intn(300)
+	}
+	return g, f, seeds
+}
+
+func TestExactAggregationKnownValue(t *testing.T) {
+	g, f, _ := scenario(1)
+	out := exactAggregation(g.Adj, f, []int{5})
+	cols, _ := g.Adj.Row(5)
+	want := make([]float64, f.Cols)
+	for _, u := range cols {
+		for j, v := range f.RowView(u) {
+			want[j] += v
+		}
+	}
+	for j := range want {
+		want[j] /= float64(len(cols))
+		if diff := out.At(0, j) - want[j]; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("exact aggregation wrong at %d", j)
+		}
+	}
+}
+
+func TestSamplingErrorDecreasesWithFanout(t *testing.T) {
+	g, f, seeds := scenario(2)
+	small := MeasureAggregationError(core.SAGE{}, g.Adj, f, seeds, 2, 20, 7)
+	large := MeasureAggregationError(core.SAGE{}, g.Adj, f, seeds, 10, 20, 7)
+	if large.MSE >= small.MSE {
+		t.Fatalf("fanout 10 MSE %.5f not below fanout 2 MSE %.5f", large.MSE, small.MSE)
+	}
+}
+
+func TestFullFanoutIsExact(t *testing.T) {
+	g, f, seeds := scenario(3)
+	// Fanout >= max degree takes every neighbor: zero error.
+	e := MeasureAggregationError(core.SAGE{}, g.Adj, f, seeds, 1000, 3, 9)
+	if e.MSE > 1e-20 {
+		t.Fatalf("full fanout MSE %.3g, want 0", e.MSE)
+	}
+}
+
+func TestSAGEUnbiasedUniformSampling(t *testing.T) {
+	// Uniform without-replacement neighbor sampling is an unbiased
+	// estimator of the neighborhood mean: bias must shrink well below
+	// the MSE with enough repetitions.
+	g, f, seeds := scenario(4)
+	e := MeasureAggregationError(core.SAGE{}, g.Adj, f, seeds, 3, 200, 11)
+	if e.Bias > e.MSE/5 {
+		t.Fatalf("bias %.5g too large relative to MSE %.5g", e.Bias, e.MSE)
+	}
+}
+
+func TestFrontierBudget(t *testing.T) {
+	g, _, seeds := scenario(5)
+	b1 := FrontierBudget(core.SAGE{}, g.Adj, seeds, 2, 13)
+	b2 := FrontierBudget(core.SAGE{}, g.Adj, seeds, 8, 13)
+	if b2 <= b1 {
+		t.Fatalf("larger fanout should touch more vertices: %v vs %v", b2, b1)
+	}
+	lad := FrontierBudget(core.LADIES{}, g.Adj, seeds, 8, 13)
+	if lad > b2 {
+		t.Fatalf("LADIES budget %v should not exceed SAGE %v at equal s", lad, b2)
+	}
+}
+
+func TestRelativeStdScaleFree(t *testing.T) {
+	g, f, seeds := scenario(6)
+	e := MeasureAggregationError(core.SAGE{}, g.Adj, f, seeds, 3, 20, 17)
+	r1 := RelativeStd(e, g.Adj, f, seeds)
+
+	// Scaling features by 10 scales MSE by 100 but leaves the relative
+	// error unchanged.
+	f10 := f.Clone()
+	f10.Scale(10)
+	e10 := MeasureAggregationError(core.SAGE{}, g.Adj, f10, seeds, 3, 20, 17)
+	r10 := RelativeStd(e10, g.Adj, f10, seeds)
+	if diff := r1 - r10; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("relative std not scale-free: %v vs %v", r1, r10)
+	}
+}

@@ -1,0 +1,93 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchGraph(b *testing.B, n int, deg float64) *CSR {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	coo := NewCOO(n, n, int(float64(n)*deg))
+	for i := 0; i < int(float64(n)*deg); i++ {
+		coo.Add(rng.Intn(n), rng.Intn(n), 1)
+	}
+	return coo.ToCSR()
+}
+
+func benchSelector(n, rows int) *CSR {
+	coo := NewCOO(rows, n, rows)
+	for i := 0; i < rows; i++ {
+		coo.Add(i, (i*7919)%n, 1)
+	}
+	return coo.ToCSR()
+}
+
+func BenchmarkSpGEMMSelector(b *testing.B) {
+	a := benchGraph(b, 10000, 16)
+	q := benchSelector(10000, 2048)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SpGEMM(q, a)
+	}
+}
+
+func BenchmarkSpGEMMSquare(b *testing.B) {
+	a := benchGraph(b, 2000, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SpGEMM(a, a)
+	}
+}
+
+func BenchmarkSpMM(b *testing.B) {
+	a := benchGraph(b, 5000, 16)
+	feats := make([]float64, 5000*32)
+	for i := range feats {
+		feats[i] = float64(i % 13)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SpMM(a, feats, 32)
+	}
+}
+
+func BenchmarkTranspose(b *testing.B) {
+	a := benchGraph(b, 10000, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Transpose()
+	}
+}
+
+func BenchmarkAddCSR(b *testing.B) {
+	x := benchGraph(b, 5000, 8)
+	y := benchGraph(b, 5000, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AddCSR(x, y)
+	}
+}
+
+func BenchmarkExtractRows(b *testing.B) {
+	a := benchGraph(b, 10000, 16)
+	rows := make([]int, 2048)
+	for i := range rows {
+		rows[i] = (i * 4241) % 10000
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ExtractRows(a, rows)
+	}
+}
+
+func BenchmarkVStack(b *testing.B) {
+	parts := make([]*CSR, 16)
+	for i := range parts {
+		parts[i] = benchGraph(b, 500, 8)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		VStack(parts...)
+	}
+}

@@ -1,0 +1,256 @@
+// Package sparse implements the sparse matrix kernels that the
+// matrix-based sampling formulation of Tripathy et al. (MLSys 2024) is
+// built on: CSR/COO storage, Gustavson-style SpGEMM, sparse-times-dense
+// SpMM, transposition, row/column extraction, vertical stacking and
+// block-diagonal composition.
+//
+// All matrices are immutable once constructed unless a method is
+// explicitly documented as mutating. Every operation that models work
+// performed on an accelerator reports an operation count (see Flops
+// fields and return values) so that the cluster cost model in
+// internal/cluster can charge simulated device time.
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CSR is a compressed sparse row matrix with float64 values.
+//
+// Invariants (checked by Validate):
+//   - len(RowPtr) == Rows+1, RowPtr[0] == 0, RowPtr is non-decreasing,
+//   - len(ColIdx) == len(Val) == RowPtr[Rows],
+//   - column indices within each row are strictly increasing and in
+//     [0, Cols).
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int
+	ColIdx     []int
+	Val        []float64
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return m.RowPtr[m.Rows] }
+
+// RowNNZ returns the number of stored entries in row i.
+func (m *CSR) RowNNZ(i int) int { return m.RowPtr[i+1] - m.RowPtr[i] }
+
+// Row returns views of the column indices and values of row i.
+// The returned slices alias the matrix and must not be modified.
+func (m *CSR) Row(i int) (cols []int, vals []float64) {
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	return m.ColIdx[lo:hi], m.Val[lo:hi]
+}
+
+// At returns the value at (i, j), or 0 if no entry is stored.
+func (m *CSR) At(i, j int) float64 {
+	cols, vals := m.Row(i)
+	k := sort.SearchInts(cols, j)
+	if k < len(cols) && cols[k] == j {
+		return vals[k]
+	}
+	return 0
+}
+
+// Bytes returns the approximate in-memory size of the matrix payload,
+// used by the communication cost model when a matrix is transferred.
+func (m *CSR) Bytes() int {
+	// 8 bytes per index (int64 on the wire) plus 8 per value plus the
+	// row pointer array.
+	return 8*len(m.RowPtr) + 16*m.NNZ()
+}
+
+// Validate checks the CSR invariants, returning a descriptive error on
+// the first violation. It is O(nnz) and intended for tests and
+// construction-time checks, not inner loops.
+func (m *CSR) Validate() error {
+	if m.Rows < 0 || m.Cols < 0 {
+		return fmt.Errorf("sparse: negative dimension %dx%d", m.Rows, m.Cols)
+	}
+	if len(m.RowPtr) != m.Rows+1 {
+		return fmt.Errorf("sparse: RowPtr length %d, want %d", len(m.RowPtr), m.Rows+1)
+	}
+	if m.RowPtr[0] != 0 {
+		return fmt.Errorf("sparse: RowPtr[0] = %d, want 0", m.RowPtr[0])
+	}
+	for i := 0; i < m.Rows; i++ {
+		if m.RowPtr[i+1] < m.RowPtr[i] {
+			return fmt.Errorf("sparse: RowPtr decreases at row %d", i)
+		}
+	}
+	nnz := m.RowPtr[m.Rows]
+	if len(m.ColIdx) != nnz || len(m.Val) != nnz {
+		return fmt.Errorf("sparse: index/value lengths (%d, %d) disagree with RowPtr nnz %d",
+			len(m.ColIdx), len(m.Val), nnz)
+	}
+	for i := 0; i < m.Rows; i++ {
+		prev := -1
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			c := m.ColIdx[k]
+			if c < 0 || c >= m.Cols {
+				return fmt.Errorf("sparse: row %d has column %d outside [0,%d)", i, c, m.Cols)
+			}
+			if c <= prev {
+				return fmt.Errorf("sparse: row %d columns not strictly increasing at %d", i, c)
+			}
+			prev = c
+		}
+	}
+	for k, v := range m.Val {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("sparse: non-finite value at entry %d", k)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy.
+func (m *CSR) Clone() *CSR {
+	c := &CSR{
+		Rows:   m.Rows,
+		Cols:   m.Cols,
+		RowPtr: append([]int(nil), m.RowPtr...),
+		ColIdx: append([]int(nil), m.ColIdx...),
+		Val:    append([]float64(nil), m.Val...),
+	}
+	return c
+}
+
+// Zero returns an empty rows x cols matrix.
+func Zero(rows, cols int) *CSR {
+	return &CSR{Rows: rows, Cols: cols, RowPtr: make([]int, rows+1)}
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *CSR {
+	m := &CSR{
+		Rows:   n,
+		Cols:   n,
+		RowPtr: make([]int, n+1),
+		ColIdx: make([]int, n),
+		Val:    make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		m.RowPtr[i+1] = i + 1
+		m.ColIdx[i] = i
+		m.Val[i] = 1
+	}
+	return m
+}
+
+// RowSums returns the sum of values in each row.
+func (m *CSR) RowSums() []float64 {
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		s := 0.0
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			s += m.Val[k]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// ScaleRows multiplies every entry of row i by f[i], in place.
+func (m *CSR) ScaleRows(f []float64) {
+	if len(f) != m.Rows {
+		panic(fmt.Sprintf("sparse: ScaleRows factor length %d, want %d", len(f), m.Rows))
+	}
+	for i := 0; i < m.Rows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			m.Val[k] *= f[i]
+		}
+	}
+}
+
+// NormalizeRows scales each nonempty row so its values sum to 1, in
+// place. Rows whose sum is zero are left untouched.
+func (m *CSR) NormalizeRows() {
+	for i := 0; i < m.Rows; i++ {
+		s := 0.0
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			s += m.Val[k]
+		}
+		if s == 0 {
+			continue
+		}
+		inv := 1 / s
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			m.Val[k] *= inv
+		}
+	}
+}
+
+// Apply replaces every stored value v with f(v), in place.
+func (m *CSR) Apply(f func(float64) float64) {
+	for k := range m.Val {
+		m.Val[k] = f(m.Val[k])
+	}
+}
+
+// Transpose returns the transposed matrix using a counting pass.
+func (m *CSR) Transpose() *CSR {
+	t := &CSR{
+		Rows:   m.Cols,
+		Cols:   m.Rows,
+		RowPtr: make([]int, m.Cols+1),
+		ColIdx: make([]int, m.NNZ()),
+		Val:    make([]float64, m.NNZ()),
+	}
+	for _, c := range m.ColIdx {
+		t.RowPtr[c+1]++
+	}
+	for i := 0; i < m.Cols; i++ {
+		t.RowPtr[i+1] += t.RowPtr[i]
+	}
+	next := append([]int(nil), t.RowPtr[:m.Cols]...)
+	for i := 0; i < m.Rows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			c := m.ColIdx[k]
+			pos := next[c]
+			next[c]++
+			t.ColIdx[pos] = i
+			t.Val[pos] = m.Val[k]
+		}
+	}
+	return t
+}
+
+// ToDense materializes the matrix as a row-major dense slice, for tests
+// and small examples only.
+func (m *CSR) ToDense() []float64 {
+	out := make([]float64, m.Rows*m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			out[i*m.Cols+m.ColIdx[k]] = m.Val[k]
+		}
+	}
+	return out
+}
+
+// Equal reports whether two matrices have identical shape and entries
+// within tol.
+func Equal(a, b *CSR, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := 0; i < a.Rows; i++ {
+		ac, av := a.Row(i)
+		bc, bv := b.Row(i)
+		if len(ac) != len(bc) {
+			return false
+		}
+		for k := range ac {
+			if ac[k] != bc[k] || math.Abs(av[k]-bv[k]) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (m *CSR) String() string {
+	return fmt.Sprintf("CSR{%dx%d, nnz=%d}", m.Rows, m.Cols, m.NNZ())
+}

@@ -1,0 +1,269 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ExtractRows returns the submatrix formed by the given rows of A, in
+// order. Row indices may repeat. This is the row-extraction SpGEMM
+// Q_R * A of Section 4.2.3 realized directly: Q_R has one nonzero per
+// row, so the product is a gather.
+func ExtractRows(a *CSR, rows []int) *CSR {
+	out := &CSR{Rows: len(rows), Cols: a.Cols, RowPtr: make([]int, len(rows)+1)}
+	nnz := 0
+	for _, r := range rows {
+		nnz += a.RowNNZ(r)
+	}
+	out.ColIdx = make([]int, 0, nnz)
+	out.Val = make([]float64, 0, nnz)
+	for i, r := range rows {
+		if r < 0 || r >= a.Rows {
+			panic(fmt.Sprintf("sparse: ExtractRows row %d outside %d rows", r, a.Rows))
+		}
+		cols, vals := a.Row(r)
+		out.ColIdx = append(out.ColIdx, cols...)
+		out.Val = append(out.Val, vals...)
+		out.RowPtr[i+1] = len(out.ColIdx)
+	}
+	return out
+}
+
+// ExtractCols returns the submatrix formed by the given columns of A,
+// in order. This is the column-extraction SpGEMM A * Q_C of Section
+// 4.2.3 realized directly: Q_C has one nonzero per column, so the
+// product is a per-row select-and-relabel. Column indices must be
+// distinct.
+func ExtractCols(a *CSR, cols []int) *CSR {
+	sel := make(map[int]int, len(cols))
+	for newIdx, c := range cols {
+		if c < 0 || c >= a.Cols {
+			panic(fmt.Sprintf("sparse: ExtractCols column %d outside %d cols", c, a.Cols))
+		}
+		if _, dup := sel[c]; dup {
+			panic(fmt.Sprintf("sparse: ExtractCols duplicate column %d", c))
+		}
+		sel[c] = newIdx
+	}
+	out := &CSR{Rows: a.Rows, Cols: len(cols), RowPtr: make([]int, a.Rows+1)}
+	type ent struct {
+		c int
+		v float64
+	}
+	buf := make([]ent, 0, len(cols))
+	for i := 0; i < a.Rows; i++ {
+		buf = buf[:0]
+		rc, rv := a.Row(i)
+		for k, c := range rc {
+			if nc, ok := sel[c]; ok {
+				buf = append(buf, ent{nc, rv[k]})
+			}
+		}
+		sort.Slice(buf, func(x, y int) bool { return buf[x].c < buf[y].c })
+		for _, e := range buf {
+			out.ColIdx = append(out.ColIdx, e.c)
+			out.Val = append(out.Val, e.v)
+		}
+		out.RowPtr[i+1] = len(out.ColIdx)
+	}
+	return out
+}
+
+// CompactCols removes empty columns of A, returning the compacted
+// matrix and the mapping from new column index to original column
+// index. This implements the GraphSAGE extraction step of Section
+// 4.1.3 ("remove empty columns in Q^{l-1}").
+func CompactCols(a *CSR) (*CSR, []int) {
+	used := make([]bool, a.Cols)
+	for _, c := range a.ColIdx {
+		used[c] = true
+	}
+	remap := make([]int, a.Cols)
+	var colMap []int
+	for c := 0; c < a.Cols; c++ {
+		if used[c] {
+			remap[c] = len(colMap)
+			colMap = append(colMap, c)
+		} else {
+			remap[c] = -1
+		}
+	}
+	out := &CSR{
+		Rows:   a.Rows,
+		Cols:   len(colMap),
+		RowPtr: append([]int(nil), a.RowPtr...),
+		ColIdx: make([]int, a.NNZ()),
+		Val:    append([]float64(nil), a.Val...),
+	}
+	for k, c := range a.ColIdx {
+		out.ColIdx[k] = remap[c]
+	}
+	return out, colMap
+}
+
+// RelabelCols rewrites column indices of A through remap (new index =
+// remap[old index]; all referenced entries must map to >= 0) and sets
+// the new column count. Column order must be preserved by remap
+// (monotone on the referenced columns); violated order panics via
+// Validate in tests.
+func RelabelCols(a *CSR, remap []int, newCols int) *CSR {
+	out := &CSR{
+		Rows:   a.Rows,
+		Cols:   newCols,
+		RowPtr: append([]int(nil), a.RowPtr...),
+		ColIdx: make([]int, a.NNZ()),
+		Val:    append([]float64(nil), a.Val...),
+	}
+	for k, c := range a.ColIdx {
+		nc := remap[c]
+		if nc < 0 || nc >= newCols {
+			panic(fmt.Sprintf("sparse: RelabelCols maps %d to %d outside [0,%d)", c, nc, newCols))
+		}
+		out.ColIdx[k] = nc
+	}
+	return out
+}
+
+// VStack vertically concatenates the given matrices, which must all
+// have the same column count. This realizes the bulk-sampling stacking
+// of Equation 1 in the paper.
+func VStack(mats ...*CSR) *CSR {
+	if len(mats) == 0 {
+		panic("sparse: VStack of zero matrices")
+	}
+	cols := mats[0].Cols
+	rows, nnz := 0, 0
+	for _, m := range mats {
+		if m.Cols != cols {
+			panic(fmt.Sprintf("sparse: VStack column mismatch %d vs %d", m.Cols, cols))
+		}
+		rows += m.Rows
+		nnz += m.NNZ()
+	}
+	out := &CSR{Rows: rows, Cols: cols, RowPtr: make([]int, rows+1)}
+	out.ColIdx = make([]int, 0, nnz)
+	out.Val = make([]float64, 0, nnz)
+	r := 0
+	for _, m := range mats {
+		for i := 0; i < m.Rows; i++ {
+			cs, vs := m.Row(i)
+			out.ColIdx = append(out.ColIdx, cs...)
+			out.Val = append(out.Val, vs...)
+			r++
+			out.RowPtr[r] = len(out.ColIdx)
+		}
+	}
+	return out
+}
+
+// BlockDiag builds the block-diagonal matrix with the given blocks on
+// the diagonal. Used by the bulk LADIES column-extraction step
+// (Section 4.2.4), where each A_Ri block multiplies only its own
+// Q_Ci^{l-1}.
+func BlockDiag(blocks ...*CSR) *CSR {
+	rows, cols, nnz := 0, 0, 0
+	for _, b := range blocks {
+		rows += b.Rows
+		cols += b.Cols
+		nnz += b.NNZ()
+	}
+	out := &CSR{Rows: rows, Cols: cols, RowPtr: make([]int, rows+1)}
+	out.ColIdx = make([]int, 0, nnz)
+	out.Val = make([]float64, 0, nnz)
+	r, cOff := 0, 0
+	for _, b := range blocks {
+		for i := 0; i < b.Rows; i++ {
+			cs, vs := b.Row(i)
+			for k := range cs {
+				out.ColIdx = append(out.ColIdx, cs[k]+cOff)
+				out.Val = append(out.Val, vs[k])
+			}
+			r++
+			out.RowPtr[r] = len(out.ColIdx)
+		}
+		cOff += b.Cols
+	}
+	return out
+}
+
+// SliceRows returns the submatrix of rows [lo, hi) of A, sharing no
+// storage with A.
+func SliceRows(a *CSR, lo, hi int) *CSR {
+	if lo < 0 || hi > a.Rows || lo > hi {
+		panic(fmt.Sprintf("sparse: SliceRows [%d,%d) outside %d rows", lo, hi, a.Rows))
+	}
+	out := &CSR{Rows: hi - lo, Cols: a.Cols, RowPtr: make([]int, hi-lo+1)}
+	base := a.RowPtr[lo]
+	for i := lo; i <= hi; i++ {
+		out.RowPtr[i-lo] = a.RowPtr[i] - base
+	}
+	out.ColIdx = append([]int(nil), a.ColIdx[base:a.RowPtr[hi]]...)
+	out.Val = append([]float64(nil), a.Val[base:a.RowPtr[hi]]...)
+	return out
+}
+
+// NonzeroCols returns the sorted distinct column indices that appear in
+// A. This is the NnzCols primitive of Algorithm 2 (the sparsity-aware
+// 1.5D SpGEMM): only these columns of the left matrix require rows of
+// the right matrix.
+func NonzeroCols(a *CSR) []int {
+	used := make(map[int]struct{}, len(a.ColIdx))
+	for _, c := range a.ColIdx {
+		used[c] = struct{}{}
+	}
+	out := make([]int, 0, len(used))
+	for c := range used {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ColRange returns the submatrix of columns [lo, hi) of A with column
+// indices shifted down by lo. Used by the 1.5D SpGEMM to slice the
+// left operand Q into the Q_ik blocks of Algorithm 2.
+func ColRange(a *CSR, lo, hi int) *CSR {
+	if lo < 0 || hi > a.Cols || lo > hi {
+		panic(fmt.Sprintf("sparse: ColRange [%d,%d) outside %d cols", lo, hi, a.Cols))
+	}
+	out := &CSR{Rows: a.Rows, Cols: hi - lo, RowPtr: make([]int, a.Rows+1)}
+	for i := 0; i < a.Rows; i++ {
+		cs, vs := a.Row(i)
+		for k, c := range cs {
+			if c >= lo && c < hi {
+				out.ColIdx = append(out.ColIdx, c-lo)
+				out.Val = append(out.Val, vs[k])
+			}
+		}
+		out.RowPtr[i+1] = len(out.ColIdx)
+	}
+	return out
+}
+
+// SelectRowsWithin returns a matrix with the same shape as A containing
+// only the rows listed in rows (others empty). It models the partial
+// block of A that a process receives in the sparsity-aware 1.5D
+// algorithm: the row space is preserved so local SpGEMM indices stay
+// global.
+func SelectRowsWithin(a *CSR, rows []int) *CSR {
+	out := &CSR{Rows: a.Rows, Cols: a.Cols, RowPtr: make([]int, a.Rows+1)}
+	nnz := 0
+	for _, r := range rows {
+		nnz += a.RowNNZ(r)
+	}
+	out.ColIdx = make([]int, 0, nnz)
+	out.Val = make([]float64, 0, nnz)
+	mark := make([]bool, a.Rows)
+	for _, r := range rows {
+		mark[r] = true
+	}
+	for i := 0; i < a.Rows; i++ {
+		if mark[i] {
+			cs, vs := a.Row(i)
+			out.ColIdx = append(out.ColIdx, cs...)
+			out.Val = append(out.Val, vs...)
+		}
+		out.RowPtr[i+1] = len(out.ColIdx)
+	}
+	return out
+}

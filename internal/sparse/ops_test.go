@@ -1,0 +1,288 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExtractRowsMatchesSpGEMM(t *testing.T) {
+	// Row extraction must equal multiplying by a one-nonzero-per-row
+	// selector matrix Q_R (Section 4.2.3).
+	a := exampleGraph()
+	rows := []int{1, 5, 1}
+	got := ExtractRows(a, rows)
+	// Build Q_R directly from COO to keep rows in requested order.
+	coo := NewCOO(len(rows), a.Rows, len(rows))
+	for i, r := range rows {
+		coo.Add(i, r, 1)
+	}
+	want, _ := SpGEMM(coo.ToCSR(), a)
+	if !Equal(got, want, 0) {
+		t.Fatalf("ExtractRows != Q_R*A:\n%v\n%v", got.ToDense(), want.ToDense())
+	}
+}
+
+func TestExtractColsMatchesSpGEMM(t *testing.T) {
+	// Column extraction must equal multiplying by a one-nonzero-per-
+	// column selector matrix Q_C (Section 4.2.3).
+	a := exampleGraph()
+	cols := []int{0, 4}
+	got := ExtractCols(a, cols)
+	coo := NewCOO(a.Cols, len(cols), len(cols))
+	for j, c := range cols {
+		coo.Add(c, j, 1)
+	}
+	want, _ := SpGEMM(a, coo.ToCSR())
+	if !Equal(got, want, 0) {
+		t.Fatalf("ExtractCols != A*Q_C:\n%v\n%v", got.ToDense(), want.ToDense())
+	}
+}
+
+func TestExtractColsDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate column")
+		}
+	}()
+	ExtractCols(exampleGraph(), []int{1, 1})
+}
+
+func TestCompactCols(t *testing.T) {
+	m := FromEntries(3, 8, [][3]float64{
+		{0, 2, 1}, {0, 6, 2}, {1, 2, 3}, {2, 7, 4},
+	})
+	c, colMap := CompactCols(m)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Cols != 3 {
+		t.Fatalf("compacted to %d cols, want 3", c.Cols)
+	}
+	wantMap := []int{2, 6, 7}
+	for i := range wantMap {
+		if colMap[i] != wantMap[i] {
+			t.Fatalf("colMap = %v, want %v", colMap, wantMap)
+		}
+	}
+	// Entries must be preserved under the mapping.
+	for i := 0; i < c.Rows; i++ {
+		cs, vs := c.Row(i)
+		for k := range cs {
+			if m.At(i, colMap[cs[k]]) != vs[k] {
+				t.Fatalf("entry (%d,%d) lost in compaction", i, cs[k])
+			}
+		}
+	}
+	if c.NNZ() != m.NNZ() {
+		t.Fatalf("compaction changed nnz %d -> %d", m.NNZ(), c.NNZ())
+	}
+}
+
+func TestCompactColsProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomCSR(rng, 1+rng.Intn(10), 1+rng.Intn(20), 0.15)
+		c, colMap := CompactCols(m)
+		if c.Validate() != nil || c.NNZ() != m.NNZ() {
+			return false
+		}
+		for i := 0; i < c.Rows; i++ {
+			cs, vs := c.Row(i)
+			for k := range cs {
+				if m.At(i, colMap[cs[k]]) != vs[k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVStack(t *testing.T) {
+	a := FromEntries(2, 3, [][3]float64{{0, 0, 1}, {1, 2, 2}})
+	b := FromEntries(1, 3, [][3]float64{{0, 1, 3}})
+	s := VStack(a, b)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Rows != 3 || s.Cols != 3 || s.NNZ() != 3 {
+		t.Fatalf("stack shape wrong: %v", s)
+	}
+	if s.At(0, 0) != 1 || s.At(1, 2) != 2 || s.At(2, 1) != 3 {
+		t.Fatal("stack entries wrong")
+	}
+}
+
+func TestVStackMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched columns")
+		}
+	}()
+	VStack(Zero(1, 2), Zero(1, 3))
+}
+
+func TestBlockDiagMatchesBulkLadiesIdentity(t *testing.T) {
+	// blockdiag(A1, A2) * vstack-of-column-extractors must equal the
+	// per-block products stacked (Section 4.2.4 structure).
+	rng := rand.New(rand.NewSource(23))
+	a1 := randomCSR(rng, 3, 5, 0.5)
+	a2 := randomCSR(rng, 4, 6, 0.5)
+	bd := BlockDiag(a1, a2)
+	if err := bd.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if bd.Rows != 7 || bd.Cols != 11 || bd.NNZ() != a1.NNZ()+a2.NNZ() {
+		t.Fatalf("block diag shape wrong: %v", bd)
+	}
+	// Column extractors picking columns {1,3} of each block.
+	qc1 := NewCOO(5, 2, 2)
+	qc1.Add(1, 0, 1)
+	qc1.Add(3, 1, 1)
+	qc2 := NewCOO(6, 2, 2)
+	qc2.Add(1, 0, 1)
+	qc2.Add(3, 1, 1)
+	stacked := VStack(qc1.ToCSR(), qc2.ToCSR())
+	got, _ := SpGEMM(bd, stacked)
+	w1, _ := SpGEMM(a1, qc1.ToCSR())
+	w2, _ := SpGEMM(a2, qc2.ToCSR())
+	want := VStack(w1, w2)
+	if !Equal(got, want, 1e-12) {
+		t.Fatal("block-diagonal bulk extraction disagrees with per-block products")
+	}
+}
+
+func TestSliceRows(t *testing.T) {
+	a := exampleGraph()
+	s := SliceRows(a, 2, 5)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Rows != 3 {
+		t.Fatalf("slice rows = %d, want 3", s.Rows)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < a.Cols; j++ {
+			if s.At(i, j) != a.At(i+2, j) {
+				t.Fatalf("slice mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestSliceRowsWholeMatrix(t *testing.T) {
+	a := exampleGraph()
+	if !Equal(SliceRows(a, 0, a.Rows), a, 0) {
+		t.Fatal("full slice differs from original")
+	}
+}
+
+func TestNonzeroCols(t *testing.T) {
+	m := FromEntries(2, 10, [][3]float64{{0, 7, 1}, {1, 2, 1}, {1, 7, 1}})
+	got := NonzeroCols(m)
+	if len(got) != 2 || got[0] != 2 || got[1] != 7 {
+		t.Fatalf("NonzeroCols = %v, want [2 7]", got)
+	}
+}
+
+func TestSelectRowsWithin(t *testing.T) {
+	a := exampleGraph()
+	sub := SelectRowsWithin(a, []int{1, 4})
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sub.Rows != a.Rows || sub.Cols != a.Cols {
+		t.Fatal("SelectRowsWithin must preserve shape")
+	}
+	if sub.RowNNZ(0) != 0 || sub.RowNNZ(1) != a.RowNNZ(1) || sub.RowNNZ(4) != a.RowNNZ(4) {
+		t.Fatal("row selection wrong")
+	}
+	// Local SpGEMM on the selected rows must agree with full SpGEMM
+	// when the left matrix only references selected rows — the key
+	// correctness property of the sparsity-aware 1.5D algorithm.
+	q := FromEntries(2, 6, [][3]float64{{0, 1, 1}, {1, 4, 1}})
+	full, _ := SpGEMM(q, a)
+	part, _ := SpGEMM(q, sub)
+	if !Equal(full, part, 0) {
+		t.Fatal("SpGEMM over selected rows differs from full matrix")
+	}
+}
+
+func TestRelabelCols(t *testing.T) {
+	m := FromEntries(2, 4, [][3]float64{{0, 1, 5}, {1, 3, 6}})
+	remap := []int{-1, 0, -1, 1}
+	r := RelabelCols(m, remap, 2)
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if r.At(0, 0) != 5 || r.At(1, 1) != 6 {
+		t.Fatal("relabel lost entries")
+	}
+}
+
+func TestExtractRowsStacksAsQ(t *testing.T) {
+	// Property: extracting rows r1..rn then summing row sums equals
+	// summing the original degrees — the extraction is lossless.
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomCSR(rng, 10, 10, 0.3)
+		rows := make([]int, 1+rng.Intn(10))
+		for i := range rows {
+			rows[i] = rng.Intn(10)
+		}
+		ex := ExtractRows(a, rows)
+		sums := a.RowSums()
+		exSums := ex.RowSums()
+		for i, r := range rows {
+			if math.Abs(exSums[i]-sums[r]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColRange(t *testing.T) {
+	a := exampleGraph()
+	sub := ColRange(a, 2, 5)
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sub.Cols != 3 {
+		t.Fatalf("cols = %d, want 3", sub.Cols)
+	}
+	for i := 0; i < a.Rows; i++ {
+		for j := 2; j < 5; j++ {
+			if sub.At(i, j-2) != a.At(i, j) {
+				t.Fatalf("ColRange mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestColRangePartitionReassembles(t *testing.T) {
+	// Summing Q_ik · A_k over column-range blocks must equal Q·A — the
+	// algebraic identity behind the staged 1.5D SpGEMM.
+	rng := rand.New(rand.NewSource(31))
+	q := randomCSR(rng, 6, 12, 0.3)
+	a := randomCSR(rng, 12, 9, 0.3)
+	full, _ := SpGEMM(q, a)
+	acc := Zero(6, 9)
+	for _, blk := range [][2]int{{0, 5}, {5, 9}, {9, 12}} {
+		qik := ColRange(q, blk[0], blk[1])
+		ak := SliceRows(a, blk[0], blk[1])
+		part, _ := SpGEMM(qik, ak)
+		acc = AddCSR(acc, part)
+	}
+	if !Equal(full, acc, 1e-12) {
+		t.Fatal("staged block product != full product")
+	}
+}

@@ -1,0 +1,227 @@
+package sparse
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// SpGEMM computes C = A * B for sparse A and B using Gustavson's
+// row-wise algorithm with a sparse accumulator, parallelized over row
+// blocks of A. The returned flop count is the number of scalar
+// multiply-add pairs performed, which the cluster cost model uses to
+// charge simulated device time.
+func SpGEMM(a, b *CSR) (c *CSR, flops int64) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("sparse: SpGEMM dimension mismatch %dx%d * %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	rowResults := make([][]int, a.Rows) // column indices per output row
+	valResults := make([][]float64, a.Rows)
+	flopsPer := make([]int64, a.Rows)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > a.Rows {
+		workers = a.Rows
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	chunk := (a.Rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > a.Rows {
+			hi = a.Rows
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			acc := newSPA(b.Cols)
+			for i := lo; i < hi; i++ {
+				var fl int64
+				acols, avals := a.Row(i)
+				for k := range acols {
+					arow := acols[k]
+					av := avals[k]
+					bcols, bvals := b.Row(arow)
+					for t := range bcols {
+						acc.add(bcols[t], av*bvals[t])
+					}
+					fl += int64(len(bcols))
+				}
+				rowResults[i], valResults[i] = acc.drain()
+				flopsPer[i] = fl
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	out := &CSR{Rows: a.Rows, Cols: b.Cols, RowPtr: make([]int, a.Rows+1)}
+	total := 0
+	for i := 0; i < a.Rows; i++ {
+		total += len(rowResults[i])
+		flops += flopsPer[i]
+	}
+	out.ColIdx = make([]int, 0, total)
+	out.Val = make([]float64, 0, total)
+	for i := 0; i < a.Rows; i++ {
+		out.ColIdx = append(out.ColIdx, rowResults[i]...)
+		out.Val = append(out.Val, valResults[i]...)
+		out.RowPtr[i+1] = out.RowPtr[i] + len(rowResults[i])
+	}
+	return out, flops
+}
+
+// SpGEMMFlops returns the flop count of A*B without forming the
+// product. Used for symbolic cost estimation.
+func SpGEMMFlops(a, b *CSR) int64 {
+	var flops int64
+	for i := 0; i < a.Rows; i++ {
+		cols, _ := a.Row(i)
+		for _, c := range cols {
+			flops += int64(b.RowNNZ(c))
+		}
+	}
+	return flops
+}
+
+// spa is a sparse accumulator: a dense value array plus an occupancy
+// list, reused across rows to avoid reallocation.
+type spa struct {
+	val     []float64
+	present []bool
+	idx     []int
+}
+
+func newSPA(n int) *spa {
+	return &spa{val: make([]float64, n), present: make([]bool, n)}
+}
+
+func (s *spa) add(j int, v float64) {
+	if !s.present[j] {
+		s.present[j] = true
+		s.idx = append(s.idx, j)
+	}
+	s.val[j] += v
+}
+
+// drain returns the accumulated (sorted) columns and values and resets
+// the accumulator.
+func (s *spa) drain() ([]int, []float64) {
+	if len(s.idx) == 0 {
+		return nil, nil
+	}
+	cols := append([]int(nil), s.idx...)
+	insertionSort(cols)
+	vals := make([]float64, len(cols))
+	for k, j := range cols {
+		vals[k] = s.val[j]
+		s.val[j] = 0
+		s.present[j] = false
+	}
+	s.idx = s.idx[:0]
+	return cols, vals
+}
+
+// insertionSort sorts small integer slices in place; output rows of
+// SpGEMM are typically short, where insertion sort beats sort.Ints.
+func insertionSort(a []int) {
+	if len(a) > 64 {
+		quickSortInts(a)
+		return
+	}
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+func quickSortInts(a []int) {
+	for len(a) > 64 {
+		p := partition(a)
+		if p < len(a)-p {
+			quickSortInts(a[:p])
+			a = a[p+1:]
+		} else {
+			quickSortInts(a[p+1:])
+			a = a[:p]
+		}
+	}
+	insertionSort(a)
+}
+
+func partition(a []int) int {
+	mid := len(a) / 2
+	if a[0] > a[mid] {
+		a[0], a[mid] = a[mid], a[0]
+	}
+	if a[0] > a[len(a)-1] {
+		a[0], a[len(a)-1] = a[len(a)-1], a[0]
+	}
+	if a[mid] > a[len(a)-1] {
+		a[mid], a[len(a)-1] = a[len(a)-1], a[mid]
+	}
+	pivot := a[mid]
+	a[mid], a[len(a)-1] = a[len(a)-1], a[mid]
+	i := 0
+	for j := 0; j < len(a)-1; j++ {
+		if a[j] < pivot {
+			a[i], a[j] = a[j], a[i]
+			i++
+		}
+	}
+	a[i], a[len(a)-1] = a[len(a)-1], a[i]
+	return i
+}
+
+// AddCSR returns A + B for same-shaped sparse matrices, merging rows.
+func AddCSR(a, b *CSR) *CSR {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("sparse: AddCSR shape mismatch %v vs %v", a, b))
+	}
+	out := &CSR{Rows: a.Rows, Cols: a.Cols, RowPtr: make([]int, a.Rows+1)}
+	out.ColIdx = make([]int, 0, a.NNZ()+b.NNZ())
+	out.Val = make([]float64, 0, a.NNZ()+b.NNZ())
+	for i := 0; i < a.Rows; i++ {
+		ac, av := a.Row(i)
+		bc, bv := b.Row(i)
+		x, y := 0, 0
+		for x < len(ac) && y < len(bc) {
+			switch {
+			case ac[x] < bc[y]:
+				out.ColIdx = append(out.ColIdx, ac[x])
+				out.Val = append(out.Val, av[x])
+				x++
+			case ac[x] > bc[y]:
+				out.ColIdx = append(out.ColIdx, bc[y])
+				out.Val = append(out.Val, bv[y])
+				y++
+			default:
+				out.ColIdx = append(out.ColIdx, ac[x])
+				out.Val = append(out.Val, av[x]+bv[y])
+				x++
+				y++
+			}
+		}
+		for ; x < len(ac); x++ {
+			out.ColIdx = append(out.ColIdx, ac[x])
+			out.Val = append(out.Val, av[x])
+		}
+		for ; y < len(bc); y++ {
+			out.ColIdx = append(out.ColIdx, bc[y])
+			out.Val = append(out.Val, bv[y])
+		}
+		out.RowPtr[i+1] = len(out.ColIdx)
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package sparse
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// SpMM computes C = A * B where A is sparse (m x k) and B is a dense
+// row-major matrix (k x n given as a flat slice). The result is a dense
+// row-major m x n slice. The returned flop count is the number of
+// multiply-add pairs.
+//
+// This is the neighborhood-aggregation kernel of forward propagation
+// (Section 6.2): sampled adjacency times sampled feature matrix.
+func SpMM(a *CSR, b []float64, bCols int) (c []float64, flops int64) {
+	if len(b) != a.Cols*bCols {
+		panic(fmt.Sprintf("sparse: SpMM dense operand has %d values, want %d (%dx%d)",
+			len(b), a.Cols*bCols, a.Cols, bCols))
+	}
+	out := make([]float64, a.Rows*bCols)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > a.Rows {
+		workers = a.Rows
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	flopsPer := make([]int64, workers)
+	var wg sync.WaitGroup
+	chunk := (a.Rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > a.Rows {
+			hi = a.Rows
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var fl int64
+			for i := lo; i < hi; i++ {
+				dst := out[i*bCols : (i+1)*bCols]
+				cols, vals := a.Row(i)
+				for k := range cols {
+					src := b[cols[k]*bCols : (cols[k]+1)*bCols]
+					v := vals[k]
+					for j := range dst {
+						dst[j] += v * src[j]
+					}
+				}
+				fl += int64(len(cols)) * int64(bCols)
+			}
+			flopsPer[w] = fl
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, f := range flopsPer {
+		flops += f
+	}
+	return out, flops
+}
+
+// SpMMT computes C = A^T * B where A is sparse (m x k) and B is dense
+// (m x n), producing a dense k x n result. Used in backpropagation to
+// push gradients from a layer's output rows back to its input rows.
+func SpMMT(a *CSR, b []float64, bCols int) (c []float64, flops int64) {
+	if len(b) != a.Rows*bCols {
+		panic(fmt.Sprintf("sparse: SpMMT dense operand has %d values, want %d (%dx%d)",
+			len(b), a.Rows*bCols, a.Rows, bCols))
+	}
+	out := make([]float64, a.Cols*bCols)
+	// Serial over rows of A (scatter into out); contention makes a naive
+	// parallel version racy, and backward passes run on small sampled
+	// matrices where this is not a bottleneck.
+	for i := 0; i < a.Rows; i++ {
+		src := b[i*bCols : (i+1)*bCols]
+		cols, vals := a.Row(i)
+		for k := range cols {
+			dst := out[cols[k]*bCols : (cols[k]+1)*bCols]
+			v := vals[k]
+			for j := range dst {
+				dst[j] += v * src[j]
+			}
+		}
+		flops += int64(len(cols)) * int64(bCols)
+	}
+	return out, flops
+}

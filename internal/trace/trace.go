@@ -1,0 +1,79 @@
+// Package trace records experiment results in a machine-readable form
+// so harness runs can be archived, diffed across code versions, and
+// post-processed into plots. Each experiment contributes its typed row
+// slice; the report serializes to JSON.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Report accumulates experiment results. Safe for concurrent Add.
+type Report struct {
+	mu      sync.Mutex
+	Meta    map[string]string `json:"meta"`
+	Results map[string]any    `json:"results"`
+}
+
+// NewReport returns an empty report with the given metadata (profile,
+// seed, git revision — whatever the caller wants recorded).
+func NewReport(meta map[string]string) *Report {
+	if meta == nil {
+		meta = map[string]string{}
+	}
+	return &Report{Meta: meta, Results: map[string]any{}}
+}
+
+// Add records rows under the experiment id, replacing any previous
+// entry for the same id.
+func (r *Report) Add(id string, rows any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.Results[id] = rows
+}
+
+// IDs returns the recorded experiment ids, sorted.
+func (r *Report) IDs() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.Results))
+	for id := range r.Results {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteJSON serializes the report with stable formatting.
+func (r *Report) WriteJSON(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Meta    map[string]string `json:"meta"`
+		Results map[string]any    `json:"results"`
+	}{r.Meta, r.Results})
+}
+
+// ReadJSON parses a report written by WriteJSON. Row payloads come
+// back as generic JSON values; use the typed accessors of the caller
+// if needed.
+func ReadJSON(rd io.Reader) (*Report, error) {
+	var raw struct {
+		Meta    map[string]string `json:"meta"`
+		Results map[string]any    `json:"results"`
+	}
+	if err := json.NewDecoder(rd).Decode(&raw); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	rep := NewReport(raw.Meta)
+	for id, rows := range raw.Results {
+		rep.Add(id, rows)
+	}
+	return rep, nil
+}

@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestReportRoundTrip(t *testing.T) {
+	rep := NewReport(map[string]string{"profile": "tiny"})
+	rep.Add("fig4", []map[string]any{{"p": 4, "total": 1.5}})
+	rep.Add("acc", map[string]float64{"test": 0.97})
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Meta["profile"] != "tiny" {
+		t.Fatal("meta lost")
+	}
+	ids := back.IDs()
+	if len(ids) != 2 || ids[0] != "acc" || ids[1] != "fig4" {
+		t.Fatalf("ids = %v", ids)
+	}
+}
+
+func TestReportOverwrite(t *testing.T) {
+	rep := NewReport(nil)
+	rep.Add("x", 1)
+	rep.Add("x", 2)
+	if len(rep.IDs()) != 1 {
+		t.Fatal("duplicate id not replaced")
+	}
+}
+
+func TestReportJSONShape(t *testing.T) {
+	rep := NewReport(map[string]string{"seed": "7"})
+	rep.Add("table3", []int{1, 2, 3})
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{`"meta"`, `"results"`, `"table3"`, `"seed"`} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("JSON missing %s:\n%s", want, s)
+		}
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestConcurrentAdd(t *testing.T) {
+	rep := NewReport(nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rep.Add(strings.Repeat("x", i+1), i)
+		}(i)
+	}
+	wg.Wait()
+	if len(rep.IDs()) != 20 {
+		t.Fatalf("lost adds: %d", len(rep.IDs()))
+	}
+}

@@ -1,0 +1,239 @@
+// Package repro is a pure-Go reproduction of "Distributed Matrix-Based
+// Sampling for Graph Neural Network Training" (Tripathy, Yelick, Buluç
+// — MLSys 2024, arXiv:2311.02909).
+//
+// The library expresses GNN minibatch sampling as sparse matrix
+// algebra and samples many minibatches in bulk (Algorithm 1 /
+// Equation 1 of the paper), distributes the sampling step with either
+// a Graph Replicated (communication-free) or Graph Partitioned
+// (1.5D, sparsity-aware SpGEMM) algorithm, and wraps both in an
+// end-to-end training pipeline with all-to-allv feature fetching.
+// Multi-GPU clusters are simulated: collectives really move data
+// between goroutine ranks while an α–β cost model calibrated to the
+// paper's Perlmutter testbed accrues simulated time.
+//
+// # Quick start
+//
+//	d := repro.ProductsLike(repro.Small)
+//	bulk := repro.SampleBulk(repro.GraphSAGE(), d.Graph.Adj, d.Batches(), d.Fanouts, 42)
+//	fmt.Println(bulk.Layers[0].Adj) // stacked sampled adjacency
+//
+// Run a simulated distributed training epoch:
+//
+//	res, err := repro.Train(d, repro.TrainConfig{P: 8, C: 2})
+//
+// Regenerate a paper figure:
+//
+//	rows, err := repro.Figure4(os.Stdout, repro.ExperimentOptions{Profile: repro.Small})
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// recorded paper-vs-measured results.
+package repro
+
+import (
+	"io"
+
+	"repro/internal/autotune"
+	"repro/internal/baseline"
+	"repro/internal/bench"
+	"repro/internal/cache"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/graph"
+	"repro/internal/graphio"
+	"repro/internal/pipeline"
+	"repro/internal/sparse"
+)
+
+// Re-exported core types. The aliases expose the full method sets of
+// the internal implementations through a stable public surface.
+type (
+	// CSR is a compressed sparse row matrix, the storage format for
+	// adjacency, sampler and probability matrices.
+	CSR = sparse.CSR
+	// Sampler is one layer of the matrix-based sampling abstraction
+	// (Algorithm 1). Implementations: GraphSAGE, LADIES, FastGCN.
+	Sampler = core.Sampler
+	// BulkSample is the output of bulk-sampling k minibatches.
+	BulkSample = core.BulkSample
+	// BatchGraph is one minibatch's sampled computation graph.
+	BatchGraph = core.BatchGraph
+	// Frontier is a per-batch vertex set at one sampling depth.
+	Frontier = core.Frontier
+	// Dataset bundles a graph with features, labels and training
+	// configuration.
+	Dataset = datasets.Dataset
+	// Profile selects dataset size (Tiny / Small / Bench).
+	Profile = datasets.Profile
+	// CostModel holds the α–β link and device-throughput parameters of
+	// the simulated cluster.
+	CostModel = cluster.CostModel
+	// TrainConfig drives a simulated distributed training run.
+	TrainConfig = pipeline.Config
+	// TrainResult is the outcome of a training run, including the
+	// Figure 4 phase breakdown per epoch.
+	TrainResult = pipeline.Result
+	// EpochStats is one epoch's sampling/fetch/propagation breakdown.
+	EpochStats = pipeline.EpochStats
+	// QuiverConfig drives the Quiver-strategy baseline.
+	QuiverConfig = baseline.QuiverConfig
+	// ExperimentOptions sizes a harness experiment.
+	ExperimentOptions = bench.Options
+)
+
+// Dataset size profiles.
+const (
+	Tiny  = datasets.Tiny
+	Small = datasets.Small
+	Bench = datasets.Bench
+)
+
+// Training algorithm selectors.
+const (
+	// GraphReplicated replicates the adjacency matrix on every device;
+	// sampling is communication-free (Section 5.1).
+	GraphReplicated = pipeline.GraphReplicated
+	// GraphPartitioned partitions the adjacency matrix 1.5D and runs
+	// the sparsity-aware SpGEMM of Algorithm 2 (Section 5.2).
+	GraphPartitioned = pipeline.GraphPartitioned
+)
+
+// GraphSAGE returns the node-wise GraphSAGE sampler (Section 4.1).
+func GraphSAGE() Sampler { return core.SAGE{} }
+
+// LADIES returns the layer-wise LADIES sampler (Section 4.2).
+func LADIES() Sampler { return core.LADIES{} }
+
+// FastGCN returns the layer-wise FastGCN sampler (degree-weighted
+// importance sampling restricted to the aggregated neighborhood).
+func FastGCN() Sampler { return core.FastGCN{} }
+
+// NewClusterGCN builds a graph-wise (ClusterGCN-style) sampler: the
+// graph is partitioned into numClusters BFS-grown clusters; batches
+// are cluster unions sampled as induced subgraphs. This extends the
+// framework to the third sampler taxonomy of Section 2.2.
+func NewClusterGCN(adj *CSR, numClusters int, seed int64) *core.ClusterGCN {
+	return core.NewClusterGCN(adj, numClusters, seed)
+}
+
+// Feature-cache policies for TrainConfig.CachePolicy (the SALIENT++-
+// style fetch extension of Section 8.1.2).
+const (
+	CacheNone         = cache.None
+	CacheStaticDegree = cache.StaticDegree
+	CacheLRU          = cache.LRU
+)
+
+// SaveDataset writes a dataset to the compact binary format.
+func SaveDataset(w io.Writer, d *Dataset) error { return graphio.WriteDataset(w, d) }
+
+// LoadDataset reads a dataset written by SaveDataset.
+func LoadDataset(r io.Reader) (*Dataset, error) { return graphio.ReadDataset(r) }
+
+// SampleBulk samples every minibatch in batches at once with the
+// matrix-based bulk approach (Algorithm 1 over the stacked matrices of
+// Equation 1). fanouts[0] applies at the batch layer.
+func SampleBulk(s Sampler, adj *CSR, batches [][]int, fanouts []int, seed int64) *BulkSample {
+	return core.SampleBulk(s, adj, batches, fanouts, seed)
+}
+
+// ProductsLike returns the OGB-Products analog dataset.
+func ProductsLike(p Profile) *Dataset { return datasets.ProductsLike(p) }
+
+// ProteinLike returns the HipMCL-Protein analog dataset (densest).
+func ProteinLike(p Profile) *Dataset { return datasets.ProteinLike(p) }
+
+// PapersLike returns the OGB-Papers100M analog dataset (largest,
+// sparsest, directed).
+func PapersLike(p Profile) *Dataset { return datasets.PapersLike(p) }
+
+// LearnableSBM returns the stochastic-block-model dataset used by the
+// accuracy experiment (Section 8.1.3 analog).
+func LearnableSBM() *Dataset { return datasets.DefaultSBM() }
+
+// Perlmutter returns the cost model calibrated to the paper's testbed
+// (Section 7.2): 4x A100 per node, NVLink 3.0, Slingshot-11.
+func Perlmutter() CostModel { return cluster.Perlmutter() }
+
+// Train runs simulated distributed minibatch training (Figure 3
+// pipeline) and returns per-epoch phase breakdowns and the trained
+// parameters.
+func Train(d *Dataset, cfg TrainConfig) (*TrainResult, error) {
+	return pipeline.Run(d, cfg)
+}
+
+// Evaluate computes test accuracy of trained parameters on the given
+// vertices.
+func Evaluate(d *Dataset, params []float64, cfg TrainConfig, vertices []int) float64 {
+	return pipeline.Evaluate(d, params, cfg, vertices, nil)
+}
+
+// TrainQuiver runs the Quiver-strategy baseline (per-batch sampling on
+// a replicated graph).
+func TrainQuiver(d *Dataset, cfg QuiverConfig) (*TrainResult, error) {
+	return baseline.RunQuiver(d, cfg)
+}
+
+// Figure4 regenerates Figure 4 (Graph Replicated pipeline vs Quiver).
+func Figure4(w io.Writer, o ExperimentOptions) ([]bench.Fig4Row, error) { return bench.Fig4(w, o) }
+
+// Figure5 regenerates Figure 5 (Quiver GPU vs UVA sampling).
+func Figure5(w io.Writer, o ExperimentOptions) ([]bench.Fig5Row, error) { return bench.Fig5(w, o) }
+
+// Figure6 regenerates Figure 6 (replication vs no replication).
+func Figure6(w io.Writer, o ExperimentOptions) ([]bench.Fig6Row, error) { return bench.Fig6(w, o) }
+
+// Figure7 regenerates Figure 7 for "sage" or "ladies" (Graph
+// Partitioned sampling breakdowns).
+func Figure7(w io.Writer, sampler string, o ExperimentOptions) ([]bench.Fig7Row, error) {
+	return bench.Fig7(w, sampler, o)
+}
+
+// Table2 prints the system capability matrix.
+func Table2(w io.Writer) { bench.Table2(w) }
+
+// Table3 prints dataset statistics for the given profile.
+func Table3(w io.Writer, p Profile) ([]bench.Table3Row, error) { return bench.Table3(w, p) }
+
+// AccuracyExperiment trains the pipeline on the learnable dataset and
+// reports test accuracy (Section 8.1.3 analog). Pass d == nil for the
+// default dataset.
+func AccuracyExperiment(w io.Writer, d *Dataset, epochs int, seed int64) (*bench.AccuracyResult, error) {
+	return bench.Accuracy(w, d, epochs, seed)
+}
+
+// SBMDataset generates a learnable stochastic-block-model dataset with
+// n vertices, the given class and feature counts, and a deterministic
+// seed. Smaller configurations suit tests; LearnableSBM returns the
+// experiment-sized default.
+func SBMDataset(n, classes, features int, seed int64) *Dataset {
+	return datasets.SBM(datasets.SBMConfig{
+		N: n, Classes: classes, Features: features,
+		IntraDeg: 10, InterDeg: 2, Noise: 0.5,
+		BatchSize: 32, Fanouts: []int{5, 3}, LayerWidth: 32, Seed: seed,
+	})
+}
+
+// EvaluateFull computes exact (full-batch, non-sampled) accuracy —
+// the sampling-free reference.
+func EvaluateFull(d *Dataset, params []float64, cfg TrainConfig, vertices []int) float64 {
+	return pipeline.EvaluateFull(d, params, cfg, vertices)
+}
+
+// AutoTune fills the replication factor c and bulk size k of a config
+// using the paper's methodology (Section 7.3): the largest values that
+// fit the per-GPU memory budget.
+func AutoTune(d *Dataset, cfg TrainConfig) (TrainConfig, error) {
+	return autotune.TuneConfig(autotune.DefaultMemoryModel(), d, cfg)
+}
+
+// TriangleCount, ConnectedComponents and BFSLevels expose the
+// semiring-based graph analytics layer.
+func TriangleCount(g *graph.Graph) int64 { return graph.TriangleCount(g) }
+
+// ConnectedComponents labels weakly connected components.
+func ConnectedComponents(g *graph.Graph) ([]int, int) { return graph.ConnectedComponents(g) }
+
+// BFSLevels returns hop distances from source (-1 if unreachable).
+func BFSLevels(g *graph.Graph, source int) []int { return graph.BFSLevels(g, source) }

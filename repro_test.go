@@ -1,0 +1,191 @@
+package repro
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// tinyDataset returns a small learnable dataset for fast API tests.
+func tinyDataset() *Dataset {
+	return SBMDataset(512, 4, 8, 1)
+}
+
+func TestPublicSamplers(t *testing.T) {
+	d := ProductsLike(Tiny)
+	for _, s := range []Sampler{GraphSAGE(), LADIES(), FastGCN()} {
+		fanouts := d.Fanouts
+		if s.Name() != "GraphSAGE" {
+			fanouts = []int{d.LayerWidth}
+		}
+		bulk := SampleBulk(s, d.Graph.Adj, d.Batches(), fanouts, 1)
+		if err := bulk.Validate(d.Graph.NumVertices()); err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if len(bulk.Layers) != len(fanouts) {
+			t.Fatalf("%s: layer count", s.Name())
+		}
+	}
+}
+
+func TestPublicClusterGCN(t *testing.T) {
+	d := ProductsLike(Tiny)
+	cg := NewClusterGCN(d.Graph.Adj, 4, 1)
+	batches := cg.Batches(2, 1)
+	bulk := SampleBulk(cg, d.Graph.Adj, batches, []int{0}, 1)
+	if err := bulk.Validate(d.Graph.NumVertices()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicTrainAndEvaluate(t *testing.T) {
+	d := tinyDataset()
+	cfg := TrainConfig{P: 2, C: 1, Epochs: 2, Seed: 1, LR: 0.02, MaxBatches: 8}
+	res, err := Train(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Epochs) != 2 || res.Params == nil {
+		t.Fatal("train result incomplete")
+	}
+	acc := Evaluate(d, res.Params, cfg, d.Test)
+	if acc < 0 || acc > 1 {
+		t.Fatalf("accuracy out of range: %v", acc)
+	}
+}
+
+func TestPublicTrainWithCache(t *testing.T) {
+	d := tinyDataset()
+	res, err := Train(d, TrainConfig{
+		P: 4, C: 1, Epochs: 1, Seed: 2, MaxBatches: 8,
+		CachePolicy: CacheStaticDegree, CacheFrac: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LastEpoch().FeatureFetch <= 0 {
+		t.Fatal("no fetch time")
+	}
+}
+
+func TestPublicQuiverBaseline(t *testing.T) {
+	d := ProductsLike(Tiny)
+	res, err := TrainQuiver(d, QuiverConfig{P: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LastEpoch().Total <= 0 {
+		t.Fatal("baseline produced no time")
+	}
+}
+
+func TestPublicFigures(t *testing.T) {
+	opts := ExperimentOptions{Profile: Tiny, GPUCounts: []int{4}, Seed: 4}
+	if _, err := Figure4(io.Discard, opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Figure5(io.Discard, opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Figure6(io.Discard, opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Figure7(io.Discard, "sage", opts); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	Table2(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("table 2 empty")
+	}
+	if _, err := Table3(io.Discard, Tiny); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicSaveLoadDataset(t *testing.T) {
+	d := ProductsLike(Tiny)
+	var buf bytes.Buffer
+	if err := SaveDataset(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Graph.NumEdges() != d.Graph.NumEdges() {
+		t.Fatal("round trip lost edges")
+	}
+	// Loaded dataset must be usable for sampling directly.
+	bulk := SampleBulk(GraphSAGE(), back.Graph.Adj, back.Batches(), back.Fanouts, 5)
+	if err := bulk.Validate(back.Graph.NumVertices()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicCostModel(t *testing.T) {
+	m := Perlmutter()
+	if m.GPUsPerNode != 4 {
+		t.Fatal("Perlmutter model should have 4 GPUs per node")
+	}
+}
+
+func TestPublicAccuracyExperiment(t *testing.T) {
+	d := tinyDataset()
+	res, err := AccuracyExperiment(io.Discard, d, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TestAccuracy <= 0 {
+		t.Fatal("no accuracy measured")
+	}
+}
+
+func TestPublicAutoTune(t *testing.T) {
+	d := ProductsLike(Tiny)
+	cfg, err := AutoTune(d, TrainConfig{P: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.C < 1 || 4%cfg.C != 0 {
+		t.Fatalf("bad tuned c: %d", cfg.C)
+	}
+	if _, err := Train(d, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAnalytics(t *testing.T) {
+	d := ProductsLike(Tiny)
+	if TriangleCount(d.Graph) <= 0 {
+		t.Fatal("no triangles in a dense scale-free graph?")
+	}
+	_, comps := ConnectedComponents(d.Graph)
+	if comps < 1 {
+		t.Fatal("no components")
+	}
+	levels := BFSLevels(d.Graph, 0)
+	if levels[0] != 0 {
+		t.Fatal("source level wrong")
+	}
+}
+
+func TestPublicEvaluateFull(t *testing.T) {
+	d := tinyDataset()
+	cfg := TrainConfig{P: 2, C: 1, Epochs: 3, Seed: 21, LR: 0.02}
+	res, err := Train(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := EvaluateFull(d, res.Params, cfg, d.Test)
+	if acc <= 0.3 {
+		t.Fatalf("full-batch accuracy %.3f too low", acc)
+	}
+}
+
+func TestPublicFigure7LadiesAndTables(t *testing.T) {
+	opts := ExperimentOptions{Profile: Tiny, GPUCounts: []int{4}, Seed: 22}
+	if _, err := Figure7(io.Discard, "ladies", opts); err != nil {
+		t.Fatal(err)
+	}
+}
