@@ -322,8 +322,9 @@ func BenchmarkPipelineEpoch(b *testing.B) {
 	b.ReportMetric(total, "sim_sec/epoch")
 }
 
-// BenchmarkAblationOverlap reports the measured gain of the overlapped
-// schedule over the sequential bulk-synchronous pipeline.
+// BenchmarkAblationOverlap reports the measured gain of the staged
+// engine's overlapped schedule over the sequential bulk-synchronous
+// pipeline at the Tiny profile.
 func BenchmarkAblationOverlap(b *testing.B) {
 	d := datasets.ProductsLike(datasets.Tiny)
 	var speedup float64
@@ -339,6 +340,43 @@ func BenchmarkAblationOverlap(b *testing.B) {
 		speedup = seq.LastEpoch().Total / ov.LastEpoch().Total
 	}
 	b.ReportMetric(speedup, "overlap_speedup")
+}
+
+// BenchmarkOverlapVsSequentialSmall compares the staged engine's
+// overlapped schedule against the sequential one at the Small profile
+// — the headline check that prefetching sampling and feature fetch
+// onto their own streams shortens the simulated epoch. Both runs share
+// a seed, so they train identically; only the schedule differs. A
+// quarter-epoch bulk size gives the pipeline rounds to overlap (k=all
+// has a single round and nothing to prefetch across).
+func BenchmarkOverlapVsSequentialSmall(b *testing.B) {
+	d := datasets.ProductsLike(datasets.Small)
+	k := d.NumBatches() / 4
+	cfg := pipeline.Config{P: 4, C: 2, K: k, Epochs: 1, Seed: 41}
+	var seqT, ovT float64
+	for i := 0; i < b.N; i++ {
+		seq, err := pipeline.Run(d, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ovCfg := cfg
+		ovCfg.Overlap = true
+		ov, err := pipeline.Run(d, ovCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		seqT, ovT = seq.LastEpoch().Total, ov.LastEpoch().Total
+		if ovT > seqT {
+			b.Fatalf("overlapped epoch (%v) slower than sequential (%v)", ovT, seqT)
+		}
+		if ov.LastEpoch().Loss != seq.LastEpoch().Loss {
+			b.Fatalf("overlap changed training: loss %v vs %v",
+				ov.LastEpoch().Loss, seq.LastEpoch().Loss)
+		}
+	}
+	b.ReportMetric(seqT, "seq_sim_sec/epoch")
+	b.ReportMetric(ovT, "overlap_sim_sec/epoch")
+	b.ReportMetric(seqT/ovT, "overlap_speedup")
 }
 
 // BenchmarkSemiringSpGEMM measures the generic semiring kernel against

@@ -28,6 +28,7 @@ func main() {
 		epochs     = flag.Int("epochs", 15, "training epochs for the accuracy experiment")
 		seed       = flag.Int64("seed", 20240101, "experiment seed")
 		jsonOut    = flag.String("json", "", "also write results as JSON to this file")
+		overlap    = flag.Bool("overlap", false, "run replicated-pipeline experiments on the overlapped (software-pipelined) engine schedule")
 	)
 	flag.Parse()
 
@@ -35,7 +36,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := bench.Options{Profile: prof, MaxBatches: *maxBatches, Seed: *seed}
+	opts := bench.Options{Profile: prof, MaxBatches: *maxBatches, Seed: *seed, Overlap: *overlap}
 	if *gpus != "" {
 		counts, err := parseInts(*gpus)
 		if err != nil {
@@ -47,6 +48,7 @@ func main() {
 		"profile":    *profile,
 		"seed":       fmt.Sprint(*seed),
 		"maxbatches": fmt.Sprint(*maxBatches),
+		"overlap":    fmt.Sprint(*overlap),
 	})
 
 	run := func(id string) error {

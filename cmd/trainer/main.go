@@ -34,6 +34,7 @@ func main() {
 		cachePol  = flag.String("cache", "none", "feature cache: none, static, lru")
 		cacheFrac = flag.Float64("cachefrac", 0.1, "cache capacity as fraction of vertices")
 		dropout   = flag.Float64("dropout", 0, "dropout rate on hidden activations")
+		overlap   = flag.Bool("overlap", false, "software-pipeline sampling and feature fetch against propagation (replicated algorithm)")
 		ckptOut   = flag.String("checkpoint", "", "write trained parameters to this file")
 		ckptIn    = flag.String("resume", "", "initialize parameters from this checkpoint")
 		tune      = flag.Bool("autotune", false, "choose c and k automatically by memory model")
@@ -63,6 +64,7 @@ func main() {
 		Sampler: *sampler,
 		Epochs:  *epochs, LR: *lr, Seed: *seed,
 		MaxBatches: *maxB,
+		Overlap:    *overlap,
 	}
 	if *algorithm == "partitioned" {
 		cfg.Algorithm = pipeline.GraphPartitioned
@@ -114,11 +116,11 @@ func main() {
 		}
 		fmt.Printf("checkpoint written to %s\n", *ckptOut)
 	}
-	fmt.Printf("%5s %10s %10s %10s %10s %10s\n",
-		"epoch", "sampling", "fetch", "prop", "total", "loss")
+	fmt.Printf("%5s %10s %10s %10s %10s %10s %10s\n",
+		"epoch", "sampling", "fetch", "prop", "stall", "total", "loss")
 	for e, st := range res.Epochs {
-		fmt.Printf("%5d %10.4f %10.4f %10.4f %10.4f %10.4f\n",
-			e, st.Sampling, st.FeatureFetch, st.Propagation, st.Total, st.Loss)
+		fmt.Printf("%5d %10.4f %10.4f %10.4f %10.4f %10.4f %10.4f\n",
+			e, st.Sampling, st.FeatureFetch, st.Propagation, st.Stall, st.Total, st.Loss)
 	}
 	params := res.Params
 	if *ckptIn != "" {

@@ -20,6 +20,7 @@ import (
 	"repro/internal/datasets"
 	"repro/internal/dense"
 	"repro/internal/distsample"
+	"repro/internal/engine"
 	"repro/internal/gnn"
 	"repro/internal/pipeline"
 )
@@ -86,6 +87,13 @@ func RunQuiver(d *datasets.Dataset, cfg QuiverConfig) (*pipeline.Result, error) 
 	losses := make([]float64, cfg.Epochs)
 	var finalParams []float64
 
+	// quiverItem carries one minibatch between the baseline's stages.
+	type quiverItem struct {
+		bg    *core.BatchGraph
+		verts []int
+		feats *dense.Matrix
+	}
+
 	res, err := cl.Run(func(r *cluster.Rank) error {
 		model := gnn.NewModel(gnn.Config{
 			In:      d.Features.Cols,
@@ -101,65 +109,89 @@ func RunQuiver(d *datasets.Dataset, cfg QuiverConfig) (*pipeline.Result, error) 
 		for epoch := 0; epoch < cfg.Epochs; epoch++ {
 			epochSeed := cfg.Seed + int64(epoch)*7919
 			lossSum, lossN := 0.0, 0
-			for round := 0; round < rounds; round++ {
-				real := round < len(local)
 
-				// 1) Per-minibatch sampling: one bulk call of size one,
-				// paying full kernel-launch overhead per batch per
-				// layer — the cost the paper's bulk sampling amortizes.
-				r.SetPhase(pipeline.PhaseSampling)
-				var bg *core.BatchGraph
-				var verts []int
-				if real {
-					bulk := core.SampleBulk(core.SAGE{}, d.Graph.Adj,
-						[][]int{local[round]}, d.Fanouts, epochSeed+int64(round))
-					cost := bulk.Cost
-					if cfg.UVA {
-						// Graph lives in host DRAM: every adjacency
-						// row visited crosses PCIe (16 bytes/entry),
-						// and the irregular work runs at an effective
-						// rate bounded by the host link.
-						r.ChargeLink(cluster.HostLink, cost.ProbFlops*16)
-						r.ChargeSparse(cost.SampleOps + cost.ExtractOps)
-					} else {
-						r.ChargeSparse(cost.Total())
-					}
-					r.ChargeKernels(cost.Kernels)
-					bg = bulk.ExtractBatch(0)
-					verts = bg.InputVertices()
-				}
-
+			// The Quiver strategy is strictly bulk synchronous — no
+			// prefetching — so the staged engine runs its sequential
+			// schedule; the stage decomposition only shares structure
+			// (and phase accounting) with the paper's pipeline.
+			pipe := &engine.Pipeline{Stages: []engine.Stage{
+				// 1) Per-minibatch sampling: one bulk call of size
+				// one, paying full kernel-launch overhead per batch
+				// per layer — the cost bulk sampling amortizes.
+				{
+					Name: pipeline.PhaseSampling,
+					Run: func(rs *cluster.Rank, round int, _ any) (any, error) {
+						rs.SetPhase(pipeline.PhaseSampling)
+						var it quiverItem
+						if round < len(local) {
+							bulk := core.SampleBulk(core.SAGE{}, d.Graph.Adj,
+								[][]int{local[round]}, d.Fanouts, epochSeed+int64(round))
+							cost := bulk.Cost
+							if cfg.UVA {
+								// Graph lives in host DRAM: every
+								// adjacency row visited crosses PCIe
+								// (16 bytes/entry), and the irregular
+								// work runs at an effective rate
+								// bounded by the host link.
+								rs.ChargeLink(cluster.HostLink, cost.ProbFlops*16)
+								rs.ChargeSparse(cost.SampleOps + cost.ExtractOps)
+							} else {
+								rs.ChargeSparse(cost.Total())
+							}
+							rs.ChargeKernels(cost.Kernels)
+							it.bg = bulk.ExtractBatch(0)
+							it.verts = it.bg.InputVertices()
+						}
+						return it, nil
+					},
+				},
 				// 2) Feature fetch across all p ranks.
-				r.SetPhase(pipeline.PhaseFeatureFetch)
-				feats := store.Fetch(r, verts)
-				if cfg.UVA && real {
-					hostRows := int(hostFeatureFraction * float64(len(verts)))
-					r.ChargeLink(cluster.HostLink, int64(hostRows*d.Features.Cols*8))
-				}
-
+				{
+					Name: pipeline.PhaseFeatureFetch,
+					Run: func(rf *cluster.Rank, round int, in any) (any, error) {
+						it := in.(quiverItem)
+						rf.SetPhase(pipeline.PhaseFeatureFetch)
+						it.feats = store.Fetch(rf, it.verts)
+						if cfg.UVA && it.bg != nil {
+							hostRows := int(hostFeatureFraction * float64(len(it.verts)))
+							rf.ChargeLink(cluster.HostLink, int64(hostRows*d.Features.Cols*8))
+						}
+						return it, nil
+					},
+				},
 				// 3) Propagation with data-parallel all-reduce.
-				r.SetPhase(pipeline.PhasePropagation)
-				grads := make([]float64, model.NumParams())
-				if real {
-					act, fwdFlops := model.Forward(bg, feats)
-					labels := make([]int, len(bg.Seeds))
-					for i, v := range bg.Seeds {
-						labels[i] = d.Labels[v]
-					}
-					loss, dLogits := gnn.Loss(act, labels)
-					g, bwdFlops := model.Backward(act, dLogits)
-					grads = g
-					r.ChargeDense(fwdFlops + bwdFlops)
-					r.ChargeKernels(4 * layers)
-					lossSum += loss
-					lossN++
-				}
-				sum := cluster.AllReduceSum(world, r, grads)
-				inv := 1.0 / float64(cfg.P)
-				for i := range sum {
-					sum[i] *= inv
-				}
-				opt.Step(model.Params(), sum)
+				{
+					Name: pipeline.PhasePropagation,
+					Run: func(rm *cluster.Rank, round int, in any) (any, error) {
+						it := in.(quiverItem)
+						rm.SetPhase(pipeline.PhasePropagation)
+						grads := make([]float64, model.NumParams())
+						if it.bg != nil {
+							act, fwdFlops := model.Forward(it.bg, it.feats)
+							labels := make([]int, len(it.bg.Seeds))
+							for i, v := range it.bg.Seeds {
+								labels[i] = d.Labels[v]
+							}
+							loss, dLogits := gnn.Loss(act, labels)
+							g, bwdFlops := model.Backward(act, dLogits)
+							grads = g
+							rm.ChargeDense(fwdFlops + bwdFlops)
+							rm.ChargeKernels(4 * layers)
+							lossSum += loss
+							lossN++
+						}
+						sum := cluster.AllReduceSum(world, rm, grads)
+						inv := 1.0 / float64(cfg.P)
+						for i := range sum {
+							sum[i] *= inv
+						}
+						opt.Step(model.Params(), sum)
+						return nil, nil
+					},
+				},
+			}}
+			if err := pipe.Execute(r, rounds); err != nil {
+				return err
 			}
 			if r.ID == 0 && lossN > 0 {
 				losses[epoch] = lossSum / float64(lossN)

@@ -26,6 +26,12 @@ type Options struct {
 	MaxBatches int // per-epoch batch cap with extrapolation; 0 = all
 	Seed       int64
 	Model      cluster.CostModel
+
+	// Overlap runs the paper's pipeline on the staged engine's
+	// software-pipelined schedule wherever an experiment trains with
+	// the Graph Replicated algorithm (Fig4/Fig6); baselines stay
+	// bulk synchronous. Off reproduces the paper's schedule.
+	Overlap bool
 }
 
 func (o Options) withDefaults() Options {
@@ -100,6 +106,7 @@ func Fig4(w io.Writer, o Options) ([]Fig4Row, error) {
 				MaxBatches: o.MaxBatches,
 				Seed:       o.Seed,
 				Model:      o.Model,
+				Overlap:    o.Overlap,
 			})
 			if err != nil {
 				return nil, err
@@ -201,6 +208,7 @@ func Fig6(w io.Writer, o Options) ([]Fig6Row, error) {
 				res, err := pipeline.Run(d, pipeline.Config{
 					P: p, C: c, K: KFor(p, d.NumBatches()),
 					MaxBatches: o.MaxBatches, Seed: o.Seed, Model: o.Model,
+					Overlap: o.Overlap,
 				})
 				if err != nil {
 					return pipeline.EpochStats{}, err

@@ -393,9 +393,14 @@ func AllReduceSumHier(c *Comm, r *Rank, x []float64) []float64 {
 	if r.ID == leader {
 		total = AllReduceSum(leaders, r, partial)
 	}
-	// Broadcast the result back within each node.
+	// Broadcast the result back within each node. The broadcast value
+	// is shared storage owned by the leader, and members copy it after
+	// the rendezvous releases them; every member (the leader included)
+	// must therefore leave it untouched and return a private copy so
+	// callers may scale the result in place (the flat algorithm also
+	// returns caller-owned storage).
 	total = Broadcast(myNodeComm, r, 0, total, 8*len(x))
-	return total
+	return append([]float64(nil), total...)
 }
 
 // hierComms lazily builds (exactly once) the per-node and leader

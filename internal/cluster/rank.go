@@ -13,6 +13,13 @@ import (
 // named phase buckets so experiments can report the same time
 // breakdowns as the paper's figures (sampling / feature fetching /
 // propagation, probability / sampling / extraction, comm / comp).
+//
+// A Rank value is also the handle for one execution *stream*: Stream
+// forks a concurrent timeline (like a CUDA stream) that shares the
+// rank's identity, cost model and phase accounting but advances an
+// independent clock. Streams let an overlapped scheduler charge
+// prefetched work concurrently with the main timeline; the rank's
+// reported time is the maximum over its streams, not their sum.
 type Rank struct {
 	ID, N int
 
@@ -25,19 +32,78 @@ type Rank struct {
 	// replaces the top level; Push/PopPhase manage nesting.
 	phases []string
 
+	// stream is the timeline's name; "" is the rank's main stream.
+	stream string
+	// acct is the accounting shared by every stream of this rank.
+	acct *acct
+}
+
+// acct is the phase/traffic accounting shared across a rank's streams.
+// Streams run on separate goroutines, so bucket updates take the
+// mutex; each stream's clock is goroutine-local and needs no lock.
+type acct struct {
+	mu         sync.Mutex
 	phaseTotal map[string]float64 // phase -> total simulated seconds
 	phaseComm  map[string]float64 // phase -> communication part
 	bytesSent  int64
 	opCount    map[string]int64 // collective name -> invocations
 	opBytes    map[string]int64 // collective name -> bytes sent
+	streams    []*Rank          // forked streams (main rank excluded)
+}
+
+func newAcct() *acct {
+	return &acct{
+		phaseTotal: map[string]float64{},
+		phaseComm:  map[string]float64{},
+		opCount:    map[string]int64{},
+		opBytes:    map[string]int64{},
+	}
+}
+
+// Stream forks a concurrent execution timeline: the returned handle
+// shares this rank's identity, cost model and accounting buckets but
+// owns an independent clock starting at the caller's current time.
+// Charges and collectives issued on the handle advance only its own
+// clock; phase totals accrue to the shared buckets. A communicator
+// must not be used by two streams of the same rank concurrently, and
+// each stream must stay on a single goroutine.
+func (r *Rank) Stream(name string) *Rank {
+	s := &Rank{
+		ID:     r.ID,
+		N:      r.N,
+		model:  r.model,
+		clock:  r.clock,
+		phases: []string{"default"},
+		stream: name,
+		acct:   r.acct,
+	}
+	r.acct.mu.Lock()
+	r.acct.streams = append(r.acct.streams, s)
+	r.acct.mu.Unlock()
+	return s
+}
+
+// StreamName returns the stream's name ("" for the main timeline).
+func (r *Rank) StreamName() string { return r.stream }
+
+// WaitUntil advances the clock to t if it is behind (a synchronization
+// stall, e.g. waiting for a prefetch stream to finish an item). The
+// stall is charged to the current phase, not as communication.
+func (r *Rank) WaitUntil(t float64) {
+	if t > r.clock {
+		r.advance(t-r.clock, false)
+	}
 }
 
 // countOp records one collective invocation and its sent bytes under
 // the operation name (for traffic breakdowns).
 func (r *Rank) countOp(name string, bytes int64) {
-	r.opCount[name]++
-	r.opBytes[name] += bytes
-	r.bytesSent += bytes
+	a := r.acct
+	a.mu.Lock()
+	a.opCount[name]++
+	a.opBytes[name] += bytes
+	a.bytesSent += bytes
+	a.mu.Unlock()
 }
 
 // SetPhase switches the bucket subsequent charges accrue to (replaces
@@ -58,8 +124,23 @@ func (r *Rank) PopPhase() {
 // Phase returns the current (innermost) phase name.
 func (r *Rank) Phase() string { return r.phases[len(r.phases)-1] }
 
-// Clock returns the rank's simulated time in seconds.
+// Clock returns the stream's simulated time in seconds.
 func (r *Rank) Clock() float64 { return r.clock }
+
+// MaxClock returns the rank's overall simulated time: the maximum
+// final clock over the main timeline and every forked stream — the
+// overlap-aware aggregation (concurrent streams max, not sum).
+func (r *Rank) MaxClock() float64 {
+	m := r.clock
+	r.acct.mu.Lock()
+	for _, s := range r.acct.streams {
+		if s.clock > m {
+			m = s.clock
+		}
+	}
+	r.acct.mu.Unlock()
+	return m
+}
 
 // advance adds dt simulated seconds to the clock and every phase on
 // the stack; comm marks the time as communication.
@@ -68,6 +149,8 @@ func (r *Rank) advance(dt float64, comm bool) {
 		panic(fmt.Sprintf("cluster: negative or NaN time advance %v", dt))
 	}
 	r.clock += dt
+	a := r.acct
+	a.mu.Lock()
 	for i, name := range r.phases {
 		dup := false
 		for _, prev := range r.phases[:i] {
@@ -79,11 +162,12 @@ func (r *Rank) advance(dt float64, comm bool) {
 		if dup {
 			continue
 		}
-		r.phaseTotal[name] += dt
+		a.phaseTotal[name] += dt
 		if comm {
-			r.phaseComm[name] += dt
+			a.phaseComm[name] += dt
 		}
 	}
+	a.mu.Unlock()
 }
 
 // ChargeSparse bills ops irregular operations (SpGEMM multiply-adds,
@@ -129,6 +213,8 @@ func (r *Rank) ChargeLink(l Link, bytes int64) {
 
 // Stats is an immutable snapshot of a rank's accounting.
 type Stats struct {
+	// Clock is the rank's overall simulated time: the maximum over
+	// its concurrent streams (not their sum).
 	Clock      float64
 	PhaseTotal map[string]float64
 	PhaseComm  map[string]float64
@@ -139,30 +225,34 @@ type Stats struct {
 }
 
 func (r *Rank) stats() Stats {
-	pt := make(map[string]float64, len(r.phaseTotal))
-	for k, v := range r.phaseTotal {
+	clock := r.MaxClock()
+	a := r.acct
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	pt := make(map[string]float64, len(a.phaseTotal))
+	for k, v := range a.phaseTotal {
 		pt[k] = v
 	}
-	pc := make(map[string]float64, len(r.phaseComm))
-	for k, v := range r.phaseComm {
+	pc := make(map[string]float64, len(a.phaseComm))
+	for k, v := range a.phaseComm {
 		pc[k] = v
 	}
-	oc := make(map[string]int64, len(r.opCount))
-	for k, v := range r.opCount {
+	oc := make(map[string]int64, len(a.opCount))
+	for k, v := range a.opCount {
 		oc[k] = v
 	}
-	ob := make(map[string]int64, len(r.opBytes))
-	for k, v := range r.opBytes {
+	ob := make(map[string]int64, len(a.opBytes))
+	for k, v := range a.opBytes {
 		ob[k] = v
 	}
-	return Stats{Clock: r.clock, PhaseTotal: pt, PhaseComm: pc, BytesSent: r.bytesSent,
+	return Stats{Clock: clock, PhaseTotal: pt, PhaseComm: pc, BytesSent: a.bytesSent,
 		OpCount: oc, OpBytes: ob}
 }
 
 // Result summarizes a simulated run.
 type Result struct {
 	// SimTime is the bulk-synchronous makespan: the maximum final
-	// simulated clock across ranks.
+	// simulated clock across ranks (per rank, the max over streams).
 	SimTime float64
 	// Ranks holds per-rank accounting indexed by rank id.
 	Ranks []Stats
@@ -230,19 +320,17 @@ func New(n int, model CostModel) *Cluster {
 // accounting. Ranks must all reach every collective they participate
 // in; an error return from one rank while peers wait inside a
 // collective deadlocks (like real MPI), so bodies should return errors
-// only at synchronized points.
+// only at synchronized points. Any streams a body forks must be joined
+// (their goroutines finished) before the body returns.
 func (c *Cluster) Run(body func(r *Rank) error) (*Result, error) {
 	ranks := make([]*Rank, c.N)
 	for i := range ranks {
 		ranks[i] = &Rank{
-			ID:         i,
-			N:          c.N,
-			model:      &c.Model,
-			phases:     []string{"default"},
-			phaseTotal: map[string]float64{},
-			phaseComm:  map[string]float64{},
-			opCount:    map[string]int64{},
-			opBytes:    map[string]int64{},
+			ID:     i,
+			N:      c.N,
+			model:  &c.Model,
+			phases: []string{"default"},
+			acct:   newAcct(),
 		}
 	}
 	errs := make([]error, c.N)
@@ -263,8 +351,8 @@ func (c *Cluster) Run(body func(r *Rank) error) (*Result, error) {
 	res := &Result{Ranks: make([]Stats, c.N)}
 	for i, r := range ranks {
 		res.Ranks[i] = r.stats()
-		if r.clock > res.SimTime {
-			res.SimTime = r.clock
+		if res.Ranks[i].Clock > res.SimTime {
+			res.SimTime = res.Ranks[i].Clock
 		}
 	}
 	return res, nil

@@ -1,0 +1,201 @@
+// Package engine is a staged-execution engine for the simulated
+// training pipelines: a chain of named stages connected by bounded
+// queues, through which a fixed number of items flow in order.
+//
+// The engine has two execution modes sharing one stage decomposition:
+//
+//   - Sequential (Overlap off): every item runs through all stages
+//     inline on the caller's rank, in item order — byte-for-byte the
+//     classic bulk-synchronous loop (sample; fetch; train; sample; ...).
+//   - Overlapped (Overlap on): every stage but the last runs on its
+//     own forked rank stream (cluster.Rank.Stream) in its own
+//     goroutine, connected by bounded channels, so stage s prefetches
+//     item i+1 while stage s+1 works on item i. The last stage runs on
+//     the caller's main timeline, so the rank's final clock is the
+//     pipeline makespan.
+//
+// Simulated time stays honest under concurrency: each stage's charges
+// accrue to its own stream clock; an item's completion time rides
+// along with the item, and a consumer that outruns its producer stalls
+// (WaitUntil, charged to the PhaseStall bucket) until the item is
+// ready in simulated time. Bounded queues exert the same backpressure
+// on the clocks that they exert on the goroutines: a producer may not
+// start item i before the consumer has dequeued item i-q (q = queue
+// capacity), which is what makes a capacity-1 queue model classic
+// double buffering. Epoch time is therefore the max over concurrent
+// streams, never the sum of phases.
+//
+// Stage Run functions must be safe to run concurrently with the other
+// stages' Run functions: a stage owns its mutable state exclusively,
+// and a communicator may be used by at most one stage of the pipeline
+// (the cluster rendezvous matches collectives per communicator in
+// program order).
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+)
+
+// PhaseStall is the phase bucket synchronization stalls accrue to:
+// time a stage spent waiting for an upstream item that was not yet
+// ready in simulated time, or for a downstream queue slot to free.
+// Exposed (un-hidden) prefetch latency shows up here.
+const PhaseStall = "stall"
+
+// Stage is one step of a staged-execution Pipeline.
+type Stage struct {
+	// Name identifies the stage in diagnostics.
+	Name string
+	// Queue is the stage's output queue capacity in items (overlapped
+	// mode only; values < 1 are treated as 1). A capacity of one full
+	// handoff unit gives double buffering: the stage computes item
+	// i+q while the consumer drains item i.
+	Queue int
+	// Run processes item idx, charging its simulated time to r (the
+	// stage's stream in overlapped mode, the caller's rank in
+	// sequential mode). in is the previous stage's output (nil for
+	// the first stage).
+	Run func(r *cluster.Rank, idx int, in any) (any, error)
+}
+
+// Pipeline executes items through a chain of stages.
+type Pipeline struct {
+	Stages []Stage
+	// Overlap selects the overlapped (software-pipelined) mode.
+	Overlap bool
+}
+
+// token carries one item between stages along with the simulated time
+// its producer finished it.
+type token struct {
+	val  any
+	done float64
+	err  error
+}
+
+// Execute runs items 0..n-1 through the stages on rank r and returns
+// the first stage error. In overlapped mode all forked streams are
+// joined before Execute returns.
+func (p *Pipeline) Execute(r *cluster.Rank, n int) error {
+	if len(p.Stages) == 0 {
+		return fmt.Errorf("engine: pipeline has no stages")
+	}
+	if n <= 0 {
+		return nil
+	}
+	if !p.Overlap || len(p.Stages) == 1 {
+		return p.executeSequential(r, n)
+	}
+	return p.executeOverlapped(r, n)
+}
+
+// executeSequential runs every stage of every item inline on r, in
+// item order — the bulk-synchronous schedule.
+func (p *Pipeline) executeSequential(r *cluster.Rank, n int) error {
+	for i := 0; i < n; i++ {
+		var v any
+		var err error
+		for _, st := range p.Stages {
+			v, err = st.Run(r, i, v)
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// executeOverlapped forks one stream per producer stage and runs the
+// final stage on the caller's timeline. Items and completion times
+// flow downstream through bounded channels; queue-slot credits (each
+// carrying the consumer's simulated dequeue time) flow back upstream,
+// so both the goroutines and the simulated clocks feel the bounded
+// queues.
+func (p *Pipeline) executeOverlapped(r *cluster.Rank, n int) error {
+	s := len(p.Stages)
+	items := make([]chan token, s-1)
+	credits := make([]chan float64, s-1)
+	for i, st := range p.Stages[:s-1] {
+		q := st.Queue
+		if q < 1 {
+			q = 1
+		}
+		items[i] = make(chan token, q)
+		credits[i] = make(chan float64, q)
+		for j := 0; j < q; j++ {
+			credits[i] <- 0 // queue starts empty: q free slots at t=0
+		}
+	}
+	done := make(chan struct{}, s-1)
+	for i := 0; i < s-1; i++ {
+		var in chan token
+		var inCred chan float64
+		if i > 0 {
+			in, inCred = items[i-1], credits[i-1]
+		}
+		go func(i int, in chan token, inCred chan float64) {
+			stream := r.Stream(p.Stages[i].Name)
+			p.runStage(stream, i, n, in, inCred, items[i], credits[i])
+			done <- struct{}{}
+		}(i, in, inCred)
+	}
+	err := p.runStage(r, s-1, n, items[s-2], credits[s-2], nil, nil)
+	for i := 0; i < s-1; i++ {
+		<-done
+	}
+	return err
+}
+
+// runStage drives one stage over all n items. To stay deadlock-free
+// it keeps the channel protocol in lockstep even after an error: every
+// item is still received, credited and forwarded, with Run skipped and
+// the error riding the tokens to the final stage.
+func (p *Pipeline) runStage(r *cluster.Rank, s, n int,
+	in chan token, inCred chan float64, out chan token, outCred chan float64) error {
+	var failed error
+	for i := 0; i < n; i++ {
+		var val any
+		if in != nil {
+			tok := <-in
+			if tok.err != nil && failed == nil {
+				failed = tok.err
+			}
+			val = tok.val
+			// The item lands in the queue at tok.done; a consumer
+			// that arrives earlier stalls until it is ready.
+			if failed == nil && tok.done > r.Clock() {
+				r.SetPhase(PhaseStall)
+				r.WaitUntil(tok.done)
+			}
+			// Dequeuing frees the slot at our (post-stall) now.
+			inCred <- r.Clock()
+		}
+		if outCred != nil {
+			// A free output slot is a precondition for starting the
+			// item (double buffering: nowhere to put it otherwise).
+			t := <-outCred
+			if failed == nil && t > r.Clock() {
+				r.SetPhase(PhaseStall)
+				r.WaitUntil(t)
+			}
+		}
+		if failed == nil {
+			v, err := p.Stages[s].Run(r, i, val)
+			if err != nil {
+				failed = err
+			} else {
+				val = v
+			}
+		}
+		if out != nil {
+			if failed != nil {
+				out <- token{err: failed}
+			} else {
+				out <- token{val: val, done: r.Clock()}
+			}
+		}
+	}
+	return failed
+}

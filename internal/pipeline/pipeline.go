@@ -9,6 +9,7 @@ import (
 	"repro/internal/datasets"
 	"repro/internal/dense"
 	"repro/internal/distsample"
+	"repro/internal/engine"
 	"repro/internal/gnn"
 )
 
@@ -43,12 +44,18 @@ type Config struct {
 	// algorithm that keeps network traffic proportional to node count.
 	HierAllReduce bool
 
-	// Overlap software-pipelines bulk sampling against feature fetch
-	// and propagation (Graph Replicated only, where sampling is
-	// communication-free): round r+1's sampling cost is charged only
-	// to the extent it exceeds round r's training time. The paper's
-	// pipeline is bulk synchronous; this is the natural next
-	// optimization its structure permits.
+	// Overlap runs the staged-execution engine in its software-
+	// pipelined mode: bulk sampling and feature fetching for upcoming
+	// minibatches proceed on their own simulated streams (bounded
+	// queues, double-buffered BulkSample handoff) while the current
+	// minibatch trains, so epoch time becomes the max over concurrent
+	// streams instead of the sum of phases. Applies to the Graph
+	// Replicated algorithm, whose sampling step is communication-free
+	// (Section 5.1); the Graph Partitioned algorithm samples with
+	// collectives and always runs the bulk-synchronous schedule. The
+	// paper's pipeline is bulk synchronous; this is the natural next
+	// optimization its structure permits. Off by default — the
+	// sequential schedule is identical to the paper's Figure 3 loop.
 	Overlap bool
 
 	Sampler string // "sage", "ladies" or "fastgcn"
@@ -110,11 +117,23 @@ func (c Config) withDefaults(d *datasets.Dataset) Config {
 
 // EpochStats is the per-epoch breakdown of Figure 4: simulated seconds
 // per pipeline phase (max across ranks), plus training metrics.
+//
+// In the sequential schedule Total is the sum of the three phases. In
+// the overlapped schedule the phases run on concurrent streams, so
+// Total is the epoch makespan (max over streams) and may be smaller
+// than the sum; Stall reports the exposed (un-hidden) prefetch
+// latency the consumer streams had to wait out.
 type EpochStats struct {
 	Sampling     float64
 	FeatureFetch float64
 	Propagation  float64
 	Total        float64
+	// Stall is the synchronization-stall time of the overlapped
+	// schedule (zero for sequential runs), summed over a rank's
+	// streams and maxed across ranks — a diagnostic of exposed
+	// prefetch latency, which can exceed the makespan when several
+	// streams wait concurrently.
+	Stall        float64
 	SamplingComm float64
 	FetchComm    float64
 	Loss         float64
@@ -131,8 +150,14 @@ type Result struct {
 	Cfg    Config
 }
 
-// LastEpoch returns the final epoch's stats.
-func (r *Result) LastEpoch() EpochStats { return r.Epochs[len(r.Epochs)-1] }
+// LastEpoch returns the final epoch's stats, or a zero EpochStats for
+// a run with no recorded epochs.
+func (r *Result) LastEpoch() EpochStats {
+	if len(r.Epochs) == 0 {
+		return EpochStats{}
+	}
+	return r.Epochs[len(r.Epochs)-1]
+}
 
 // schedule fixes, identically on every rank, how many bulk-sampling
 // rounds an epoch has and how many training iterations each round has,
@@ -184,8 +209,47 @@ func BlockScale(total, processed, blocks int) float64 {
 	return per(total) / per(processed)
 }
 
+// fetchItem is the sampling stage's per-minibatch output: one
+// extracted batch graph and its input frontier, handed to the
+// feature-fetch stage.
+type fetchItem struct {
+	bg    *core.BatchGraph
+	verts []int
+}
+
+// trainItem is the feature-fetch stage's output: the batch graph plus
+// its gathered input features, handed to the propagation stage.
+type trainItem struct {
+	bg    *core.BatchGraph
+	feats *dense.Matrix
+}
+
+// overlapped reports whether the run uses the engine's software-
+// pipelined schedule: the knob is on and sampling is communication-
+// free (the partitioned algorithm samples with collectives, which
+// cannot move to a concurrent stream). The run loop and the stats
+// aggregation must agree on this.
+func (c Config) overlapped() bool {
+	return c.Overlap && c.Algorithm != GraphPartitioned
+}
+
+// newSampler maps the config's sampler name to its implementation.
+func newSampler(name string) core.Sampler {
+	switch name {
+	case "ladies":
+		return core.LADIES{}
+	case "fastgcn":
+		return core.FastGCN{}
+	default:
+		return core.SAGE{}
+	}
+}
+
 // Run simulates cfg.Epochs of distributed minibatch training over the
-// dataset and returns per-epoch phase breakdowns.
+// dataset and returns per-epoch phase breakdowns. The epoch loop is
+// expressed as a three-stage engine pipeline (bulk sampling → feature
+// fetch → propagation); Config.Overlap selects the software-pipelined
+// schedule, the default is the paper's bulk-synchronous one.
 func Run(d *datasets.Dataset, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults(d)
 	if cfg.P%cfg.C != 0 {
@@ -267,128 +331,129 @@ func Run(d *datasets.Dataset, cfg Config) (*Result, error) {
 		} else {
 			local = distsample.ReplicatedBatches(cfg.P, r.ID, batches)
 		}
+		sampler := newSampler(cfg.Sampler)
+		overlap := cfg.overlapped()
 
 		for epoch := 0; epoch < cfg.Epochs; epoch++ {
 			epochSeed := cfg.Seed + int64(epoch)*7919
 			lossSum, lossN := 0.0, 0
 
-			hiddenBudget := 0.0
-			for round := 0; round < sched.rounds; round++ {
-				lo := round * sched.sampPerRound
-				hi := lo + sched.sampPerRound
-				if lo > len(local) {
-					lo = len(local)
-				}
-				if hi > len(local) {
-					hi = len(local)
-				}
-				chunk := local[lo:hi]
+			// Stage state: the sampling stage owns the current bulk
+			// (and, in overlapped mode, the next one in flight — the
+			// double buffer realized by its output queue).
+			var bulk *core.BulkSample
+			var chunk [][]int
 
-				// 1) Sampling step (Figure 3 left). Every rank calls
-				// the same sampler the same number of times; empty
-				// chunks still join the partitioned collectives.
-				r.SetPhase(PhaseSampling)
-				r.PushPhase(PhaseSampling) // nested level for the driver's sub-phases
-				var bulk *core.BulkSample
-				if cfg.Algorithm == GraphPartitioned {
-					switch cfg.Sampler {
-					case "ladies":
-						bulk = distsample.SampleLADIESPartitioned(r, parts[r.ID], chunk, d.LayerWidth, cfg.Layers, epochSeed)
-					case "fastgcn":
-						bulk = distsample.SampleFastGCNPartitioned(r, parts[r.ID], chunk, d.LayerWidth, cfg.Layers, epochSeed)
-					default:
-						bulk = distsample.SampleSAGEPartitioned(r, parts[r.ID], chunk, fanouts, epochSeed)
-					}
-				} else if cfg.Overlap {
-					// Overlapped schedule: compute the bulk now (the
-					// data is needed this round) but charge only the
-					// slice of its cost that last round's training did
-					// not hide.
-					var sampler core.Sampler
-					switch cfg.Sampler {
-					case "ladies":
-						sampler = core.LADIES{}
-					case "fastgcn":
-						sampler = core.FastGCN{}
-					default:
-						sampler = core.SAGE{}
-					}
-					bulk = core.SampleBulk(sampler, d.Graph.Adj, chunk, fanouts, epochSeed)
-					sampleSec := r.SparseSeconds(bulk.Cost.Total()) + r.KernelSeconds(bulk.Cost.Kernels)
-					exposed := sampleSec - hiddenBudget
-					if exposed < 0 {
-						exposed = 0
-					}
-					r.AdvanceBy(exposed)
-					hiddenBudget = 0
-				} else {
-					var sampler core.Sampler
-					switch cfg.Sampler {
-					case "ladies":
-						sampler = core.LADIES{}
-					case "fastgcn":
-						sampler = core.FastGCN{}
-					default:
-						sampler = core.SAGE{}
-					}
-					bulk = distsample.SampleReplicated(r, sampler, d.Graph.Adj, chunk, fanouts, epochSeed)
-				}
-				r.PopPhase()
-				trainStart := r.Clock()
+			pipe := &engine.Pipeline{
+				Overlap: overlap,
+				Stages: []engine.Stage{
+					// 1) Sampling (Figure 3 left): one bulk call per
+					// round, emitted one extracted minibatch at a
+					// time. Every rank calls the same sampler the
+					// same number of times; empty chunks still join
+					// the partitioned collectives.
+					{
+						Name: PhaseSampling,
+						// One full round of minibatches buffers
+						// downstream while the next round's bulk is
+						// sampled: the double-buffered BulkSample
+						// handoff.
+						Queue: sched.trainPerRound,
+						Run: func(rs *cluster.Rank, idx int, _ any) (any, error) {
+							round, t := idx/sched.trainPerRound, idx%sched.trainPerRound
+							if t == 0 {
+								lo := round * sched.sampPerRound
+								hi := lo + sched.sampPerRound
+								if lo > len(local) {
+									lo = len(local)
+								}
+								if hi > len(local) {
+									hi = len(local)
+								}
+								chunk = local[lo:hi]
+								rs.SetPhase(PhaseSampling)
+								rs.PushPhase(PhaseSampling) // nested level for the driver's sub-phases
+								if cfg.Algorithm == GraphPartitioned {
+									switch cfg.Sampler {
+									case "ladies":
+										bulk = distsample.SampleLADIESPartitioned(rs, parts[rs.ID], chunk, d.LayerWidth, cfg.Layers, epochSeed)
+									case "fastgcn":
+										bulk = distsample.SampleFastGCNPartitioned(rs, parts[rs.ID], chunk, d.LayerWidth, cfg.Layers, epochSeed)
+									default:
+										bulk = distsample.SampleSAGEPartitioned(rs, parts[rs.ID], chunk, fanouts, epochSeed)
+									}
+								} else {
+									bulk = distsample.SampleReplicated(rs, sampler, d.Graph.Adj, chunk, fanouts, epochSeed)
+								}
+								rs.PopPhase()
+							}
+							bi := t*sched.trainStride + trainOffset
+							var it fetchItem
+							if bi < len(chunk) {
+								it.bg = bulk.ExtractBatch(bi)
+								it.verts = it.bg.InputVertices()
+							}
+							return it, nil
+						},
+					},
+					// 2) Feature fetch: all-to-allv over the process
+					// column; iterations without a real batch join
+					// with empty requests.
+					{
+						Name:  PhaseFeatureFetch,
+						Queue: 1,
+						Run: func(rf *cluster.Rank, idx int, in any) (any, error) {
+							it := in.(fetchItem)
+							rf.SetPhase(PhaseFeatureFetch)
+							feats := store.FetchCached(rf, it.verts, featCache)
+							return trainItem{bg: it.bg, feats: feats}, nil
+						},
+					},
+					// 3) Propagation with data-parallel gradient
+					// all-reduce, on the rank's main timeline;
+					// iterations without a real batch contribute
+					// zero gradients.
+					{
+						Name: PhasePropagation,
+						Run: func(rm *cluster.Rank, idx int, in any) (any, error) {
+							ti := in.(trainItem)
+							rm.SetPhase(PhasePropagation)
+							grads := make([]float64, model.NumParams())
+							if ti.bg != nil {
+								act, fwdFlops := model.Forward(ti.bg, ti.feats)
+								labels := make([]int, len(ti.bg.Seeds))
+								for i, v := range ti.bg.Seeds {
+									labels[i] = d.Labels[v]
+								}
+								loss, dLogits := gnn.Loss(act, labels)
+								g, bwdFlops := model.Backward(act, dLogits)
+								grads = g
+								rm.ChargeDense(fwdFlops + bwdFlops)
+								rm.ChargeKernels(4 * cfg.Layers)
+								lossSum += loss
+								lossN++
+							}
 
-				// 2/3) Feature fetch + propagation, one minibatch per
-				// training iteration; iterations without a real batch
-				// contribute zero gradients.
-				for t := 0; t < sched.trainPerRound; t++ {
-					bi := t*sched.trainStride + trainOffset
-					real := bi < len(chunk)
-
-					var bg *core.BatchGraph
-					var verts []int
-					if real {
-						bg = bulk.ExtractBatch(bi)
-						verts = bg.InputVertices()
-					}
-
-					r.SetPhase(PhaseFeatureFetch)
-					feats := store.FetchCached(r, verts, featCache)
-
-					r.SetPhase(PhasePropagation)
-					grads := make([]float64, model.NumParams())
-					if real {
-						act, fwdFlops := model.Forward(bg, feats)
-						labels := make([]int, len(bg.Seeds))
-						for i, v := range bg.Seeds {
-							labels[i] = d.Labels[v]
-						}
-						loss, dLogits := gnn.Loss(act, labels)
-						g, bwdFlops := model.Backward(act, dLogits)
-						grads = g
-						r.ChargeDense(fwdFlops + bwdFlops)
-						r.ChargeKernels(4 * cfg.Layers)
-						lossSum += loss
-						lossN++
-					}
-
-					// Data-parallel gradient all-reduce, then an
-					// identical optimizer step on every rank.
-					var sum []float64
-					if cfg.HierAllReduce {
-						sum = cluster.AllReduceSumHier(world, r, grads)
-					} else {
-						sum = cluster.AllReduceSum(world, r, grads)
-					}
-					inv := 1.0 / float64(cfg.P)
-					for i := range sum {
-						sum[i] *= inv
-					}
-					opt.Step(model.Params(), sum)
-					model.NextDropoutSeed()
-					r.ChargeDense(int64(3 * len(sum)))
-				}
-				// Training time this round can hide the next round's
-				// sampling in the overlapped schedule.
-				hiddenBudget = r.Clock() - trainStart
+							var sum []float64
+							if cfg.HierAllReduce {
+								sum = cluster.AllReduceSumHier(world, rm, grads)
+							} else {
+								sum = cluster.AllReduceSum(world, rm, grads)
+							}
+							inv := 1.0 / float64(cfg.P)
+							for i := range sum {
+								sum[i] *= inv
+							}
+							opt.Step(model.Params(), sum)
+							model.NextDropoutSeed()
+							rm.ChargeDense(int64(3 * len(sum)))
+							return nil, nil
+						},
+					},
+				},
+			}
+			if err := pipe.Execute(r, sched.rounds*sched.trainPerRound); err != nil {
+				return err
 			}
 			if lossN > 0 {
 				losses[r.ID][epoch] = lossSum / float64(lossN)
@@ -415,16 +480,25 @@ func Run(d *datasets.Dataset, cfg Config) (*Result, error) {
 	perEpochComm := func(phase string) float64 {
 		return res.PhaseComm(phase) * scale / float64(cfg.Epochs)
 	}
+	overlapped := cfg.overlapped()
 	for e := range epochs {
 		epochs[e] = EpochStats{
 			Sampling:     perEpoch(PhaseSampling),
 			FeatureFetch: perEpoch(PhaseFeatureFetch),
 			Propagation:  perEpoch(PhasePropagation),
+			Stall:        perEpoch(engine.PhaseStall),
 			SamplingComm: perEpochComm(PhaseSampling),
 			FetchComm:    perEpochComm(PhaseFeatureFetch),
 			Loss:         losses[0][e],
 		}
-		epochs[e].Total = epochs[e].Sampling + epochs[e].FeatureFetch + epochs[e].Propagation
+		if overlapped {
+			// Concurrent streams: epoch time is the makespan (max
+			// over streams — the rank's final clock), not the sum of
+			// the per-stream phase totals.
+			epochs[e].Total = res.SimTime * scale / float64(cfg.Epochs)
+		} else {
+			epochs[e].Total = epochs[e].Sampling + epochs[e].FeatureFetch + epochs[e].Propagation
+		}
 		if cfg.TrackVal && epochParams[e] != nil {
 			epochs[e].ValAccuracy = Evaluate(d, epochParams[e], cfg, d.Val, nil)
 		}

@@ -158,7 +158,11 @@ func Perlmutter() CostModel { return cluster.Perlmutter() }
 
 // Train runs simulated distributed minibatch training (Figure 3
 // pipeline) and returns per-epoch phase breakdowns and the trained
-// parameters.
+// parameters. The epoch loop runs on the staged-execution engine:
+// set TrainConfig.Overlap to software-pipeline bulk sampling and
+// feature fetching against propagation (training outcomes are
+// bit-identical to the default bulk-synchronous schedule; only the
+// simulated schedule changes).
 func Train(d *Dataset, cfg TrainConfig) (*TrainResult, error) {
 	return pipeline.Run(d, cfg)
 }
