@@ -379,6 +379,44 @@ func BenchmarkOverlapVsSequentialSmall(b *testing.B) {
 	b.ReportMetric(seqT/ovT, "overlap_speedup")
 }
 
+// BenchmarkOverlapVsSequentialPartitionedSmall compares the staged
+// engine's overlapped schedule against the sequential one for the 1.5D
+// Graph Partitioned algorithm at the Small profile — the stream-safe
+// collectives check: the sampling stage drives grid collectives from
+// its own prefetch stream (per-stage communicator clones) while the
+// fetch all-to-allv and the gradient all-reduce run on theirs, and the
+// training outcome must not change.
+func BenchmarkOverlapVsSequentialPartitionedSmall(b *testing.B) {
+	d := datasets.ProductsLike(datasets.Small)
+	k := d.NumBatches() / 4
+	cfg := pipeline.Config{P: 4, C: 2, K: k, Epochs: 1, Seed: 41,
+		Algorithm: pipeline.GraphPartitioned, SparsityAware: true}
+	var seqT, ovT float64
+	for i := 0; i < b.N; i++ {
+		seq, err := pipeline.Run(d, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ovCfg := cfg
+		ovCfg.Overlap = true
+		ov, err := pipeline.Run(d, ovCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		seqT, ovT = seq.LastEpoch().Total, ov.LastEpoch().Total
+		if ovT > seqT {
+			b.Fatalf("overlapped partitioned epoch (%v) slower than sequential (%v)", ovT, seqT)
+		}
+		if ov.LastEpoch().Loss != seq.LastEpoch().Loss {
+			b.Fatalf("overlap changed partitioned training: loss %v vs %v",
+				ov.LastEpoch().Loss, seq.LastEpoch().Loss)
+		}
+	}
+	b.ReportMetric(seqT, "seq_sim_sec/epoch")
+	b.ReportMetric(ovT, "overlap_sim_sec/epoch")
+	b.ReportMetric(seqT/ovT, "overlap_speedup")
+}
+
 // BenchmarkSemiringSpGEMM measures the generic semiring kernel against
 // the specialized arithmetic one (BenchmarkSpGEMM).
 func BenchmarkSemiringSpGEMM(b *testing.B) {

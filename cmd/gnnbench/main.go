@@ -28,7 +28,7 @@ func main() {
 		epochs     = flag.Int("epochs", 15, "training epochs for the accuracy experiment")
 		seed       = flag.Int64("seed", 20240101, "experiment seed")
 		jsonOut    = flag.String("json", "", "also write results as JSON to this file")
-		overlap    = flag.Bool("overlap", false, "run replicated-pipeline experiments on the overlapped (software-pipelined) engine schedule")
+		overlap    = flag.Bool("overlap", false, "run the replicated-pipeline training experiments (fig4, fig6) on the overlapped engine schedule; the overlap experiment always measures sequential vs overlapped for both algorithms")
 	)
 	flag.Parse()
 

@@ -24,7 +24,7 @@ func main() {
 		profile   = flag.String("profile", "small", "tiny, small, bench (ignored for sbm)")
 		p         = flag.Int("p", 4, "simulated GPUs")
 		c         = flag.Int("c", 1, "replication factor")
-		k         = flag.Int("k", 0, "bulk size (0 = all minibatches at once)")
+		k         = flag.Int("k", 0, "bulk size (0 or negative = all minibatches at once; with -autotune, 0 = choose for me, -1 = explicitly all)")
 		sampler   = flag.String("sampler", "sage", "sage or ladies")
 		algorithm = flag.String("algorithm", "replicated", "replicated or partitioned")
 		epochs    = flag.Int("epochs", 5, "training epochs")
@@ -34,7 +34,7 @@ func main() {
 		cachePol  = flag.String("cache", "none", "feature cache: none, static, lru")
 		cacheFrac = flag.Float64("cachefrac", 0.1, "cache capacity as fraction of vertices")
 		dropout   = flag.Float64("dropout", 0, "dropout rate on hidden activations")
-		overlap   = flag.Bool("overlap", false, "software-pipeline sampling and feature fetch against propagation (replicated algorithm)")
+		overlap   = flag.Bool("overlap", false, "software-pipeline sampling and feature fetch against propagation (both algorithms; partitioned collectives run on per-stage streams)")
 		ckptOut   = flag.String("checkpoint", "", "write trained parameters to this file")
 		ckptIn    = flag.String("resume", "", "initialize parameters from this checkpoint")
 		tune      = flag.Bool("autotune", false, "choose c and k automatically by memory model")
@@ -89,7 +89,7 @@ func main() {
 			fatal(err)
 		}
 		cfg = tuned
-		fmt.Printf("autotune: c=%d k=%d\n", cfg.C, cfg.K)
+		fmt.Printf("autotune: c=%d k=%s\n", cfg.C, kLabel(cfg.K))
 	}
 
 	fmt.Printf("dataset=%s vertices=%d edges=%d batches=%d | p=%d c=%d sampler=%s algorithm=%s\n",
@@ -102,6 +102,10 @@ func main() {
 	res, err := pipeline.Run(d, cfg)
 	if err != nil {
 		fatal(err)
+	}
+	if cfg.K > 0 && res.EffectiveK > cfg.K {
+		fmt.Printf("note: bulk size clamped up from k=%d to %d (the schedule samples at least one batch per block per round)\n",
+			cfg.K, res.EffectiveK)
 	}
 	if *ckptOut != "" {
 		f, err := os.Create(*ckptOut)
@@ -136,6 +140,13 @@ func main() {
 	}
 	acc := pipeline.Evaluate(d, params, cfg, d.Test, nil)
 	fmt.Printf("test accuracy: %.3f\n", acc)
+}
+
+func kLabel(k int) string {
+	if k <= 0 {
+		return "all"
+	}
+	return fmt.Sprint(k)
 }
 
 func fatal(err error) {

@@ -75,7 +75,9 @@ type Choice struct {
 
 // Tune returns the largest replication factor (a divisor of p) and the
 // largest bulk size that fit the memory budget, preferring c over k as
-// the paper's annotations do. k == 0 means "all minibatches at once".
+// the paper's annotations do. "All minibatches at once" is reported as
+// pipeline.KAll, never 0 — 0 is the "unset" sentinel TuneConfig tunes,
+// so a tuned config round-trips through TuneConfig unchanged.
 func Tune(m MemoryModel, d *datasets.Dataset, p int) (Choice, error) {
 	budget := int64(float64(m.GPUBytes) * (1 - m.Overhead))
 	total := d.NumBatches()
@@ -91,7 +93,7 @@ func Tune(m MemoryModel, d *datasets.Dataset, p int) (Choice, error) {
 			if est <= budget {
 				kOut := k
 				if k >= total {
-					kOut = 0 // all
+					kOut = pipeline.KAll
 				}
 				if best.C == 0 {
 					best = Choice{C: c, K: kOut, Estimate: est}
@@ -110,7 +112,10 @@ func Tune(m MemoryModel, d *datasets.Dataset, p int) (Choice, error) {
 }
 
 // TuneConfig fills C and K of a pipeline config using the memory
-// model, leaving explicit non-zero values untouched.
+// model, leaving explicit values untouched. K's "unset" sentinel is 0
+// and only 0: an explicit "all minibatches" request is pipeline.KAll
+// (any negative K), which passes through untuned — K = 0 cannot mean
+// both "all" and "choose for me" at once.
 func TuneConfig(m MemoryModel, d *datasets.Dataset, cfg pipeline.Config) (pipeline.Config, error) {
 	if cfg.C > 0 && cfg.K != 0 {
 		return cfg, nil

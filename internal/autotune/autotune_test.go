@@ -34,8 +34,8 @@ func TestTunePrefersMaxC(t *testing.T) {
 	if choice.C != 8 {
 		t.Fatalf("with ample memory c should be max: got %d", choice.C)
 	}
-	if choice.K != 0 {
-		t.Fatalf("with ample memory k should be all: got %d", choice.K)
+	if choice.K != pipeline.KAll {
+		t.Fatalf("with ample memory k should be the explicit all sentinel %d: got %d", pipeline.KAll, choice.K)
 	}
 }
 
@@ -87,6 +87,51 @@ func TestTuneConfigFillsZeros(t *testing.T) {
 	}
 	if cfg2.C != 2 || cfg2.K != 3 {
 		t.Fatalf("explicit values overwritten: %+v", cfg2)
+	}
+}
+
+func TestTuneConfigRespectsExplicitAllMinibatches(t *testing.T) {
+	// K = pipeline.KAll is the explicit "all minibatches in one bulk"
+	// request — the documented meaning of k=all everywhere else — and
+	// must pass through untouched, not be mistaken for "unset" and
+	// silently re-tuned (the regression this test pins down).
+	d := datasets.ProductsLike(datasets.Tiny)
+	// A budget too tight for k=all: tuning would pick a smaller k.
+	ample, err := Tune(MemoryModel{GPUBytes: 1 << 30, Overhead: 0.1}, d, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight := MemoryModel{GPUBytes: ample.Estimate - 1024, Overhead: 0}
+	cfg, err := TuneConfig(tight, d, pipeline.Config{P: 8, C: 2, K: pipeline.KAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.K != pipeline.KAll || cfg.C != 2 {
+		t.Fatalf("explicit all-minibatches config was re-tuned: %+v", cfg)
+	}
+	// With C unset, C is tuned but the explicit K still survives.
+	cfg, err = TuneConfig(tight, d, pipeline.Config{P: 8, K: pipeline.KAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.K != pipeline.KAll {
+		t.Fatalf("explicit all-minibatches K lost while tuning C: %+v", cfg)
+	}
+	if cfg.C <= 0 {
+		t.Fatalf("C not tuned: %+v", cfg)
+	}
+	// A tuned config is a fixed point of TuneConfig.
+	auto, err := TuneConfig(tight, d, pipeline.Config{P: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := TuneConfig(tight, d, auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.C != auto.C || again.K != auto.K {
+		t.Fatalf("TuneConfig not idempotent: c=%d k=%d vs c=%d k=%d",
+			again.C, again.K, auto.C, auto.K)
 	}
 }
 

@@ -84,7 +84,11 @@ func RunQuiver(d *datasets.Dataset, cfg QuiverConfig) (*pipeline.Result, error) 
 	scale := pipeline.BlockScale(totalBatches, len(batches), cfg.P)
 	rounds := (len(batches) + cfg.P - 1) / cfg.P // batches per rank, padded
 
-	losses := make([]float64, cfg.Epochs)
+	// Per-rank loss sums and batch counts, folded after the run into
+	// the global batch-weighted epoch loss (rank 0's local average
+	// misreports whenever batches divide unevenly across ranks).
+	lossSums := make([][]float64, cfg.P)
+	lossCounts := make([][]int, cfg.P)
 	var finalParams []float64
 
 	// quiverItem carries one minibatch between the baseline's stages.
@@ -105,6 +109,8 @@ func RunQuiver(d *datasets.Dataset, cfg QuiverConfig) (*pipeline.Result, error) 
 		opt := dense.NewAdam(cfg.LR)
 		store := stores[r.ID]
 		local := distsample.ReplicatedBatches(cfg.P, r.ID, batches)
+		lossSums[r.ID] = make([]float64, cfg.Epochs)
+		lossCounts[r.ID] = make([]int, cfg.Epochs)
 
 		for epoch := 0; epoch < cfg.Epochs; epoch++ {
 			epochSeed := cfg.Seed + int64(epoch)*7919
@@ -193,9 +199,8 @@ func RunQuiver(d *datasets.Dataset, cfg QuiverConfig) (*pipeline.Result, error) 
 			if err := pipe.Execute(r, rounds); err != nil {
 				return err
 			}
-			if r.ID == 0 && lossN > 0 {
-				losses[epoch] = lossSum / float64(lossN)
-			}
+			lossSums[r.ID][epoch] = lossSum
+			lossCounts[r.ID][epoch] = lossN
 		}
 		if r.ID == 0 {
 			finalParams = append([]float64(nil), model.Params()...)
@@ -214,13 +219,15 @@ func RunQuiver(d *datasets.Dataset, cfg QuiverConfig) (*pipeline.Result, error) 
 		return res.PhaseComm(phase) * scale / float64(cfg.Epochs)
 	}
 	for e := range epochs {
+		loss, lossN := pipeline.AggregateLoss(lossSums, lossCounts, e)
 		epochs[e] = pipeline.EpochStats{
 			Sampling:     perEpoch(pipeline.PhaseSampling),
 			FeatureFetch: perEpoch(pipeline.PhaseFeatureFetch),
 			Propagation:  perEpoch(pipeline.PhasePropagation),
 			SamplingComm: perEpochComm(pipeline.PhaseSampling),
 			FetchComm:    perEpochComm(pipeline.PhaseFeatureFetch),
-			Loss:         losses[e],
+			Loss:         loss,
+			LossBatches:  lossN,
 		}
 		epochs[e].Total = epochs[e].Sampling + epochs[e].FeatureFetch + epochs[e].Propagation
 	}

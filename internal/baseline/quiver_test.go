@@ -110,3 +110,21 @@ func TestRunQuiverRejectsZeroP(t *testing.T) {
 		t.Fatal("expected error for p=0")
 	}
 }
+
+func TestQuiverLossAggregatesAcrossRanksUnevenBatches(t *testing.T) {
+	// 3 batches over p=2 ranks: rank 0 counts 2, rank 1 counts 1. The
+	// epoch loss must aggregate all 3 batch losses (the old rank-0-only
+	// report covered 2 and misweighted the epoch).
+	d := datasets.ProductsLike(datasets.Tiny)
+	res, err := RunQuiver(d, QuiverConfig{P: 2, MaxBatches: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := res.LastEpoch()
+	if e.LossBatches != 3 {
+		t.Fatalf("aggregated %d batch losses, want 3 (all ranks)", e.LossBatches)
+	}
+	if e.Loss <= 0 {
+		t.Fatalf("loss signal lost: %v", e.Loss)
+	}
+}

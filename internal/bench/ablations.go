@@ -276,7 +276,12 @@ func SamplerVariance(w io.Writer, dataset string, fanouts []int, o Options) ([]V
 // concurrent streams the epoch is bounded below by the busiest stream,
 // max(sampling, fetch, prop), instead of the bulk-synchronous sum.
 type OverlapRow struct {
-	Dataset    string
+	Dataset string
+	// Algorithm is "replicated" or "partitioned": with stream-safe
+	// collectives the 1.5D partitioned schedule overlaps too, its
+	// collective-bearing sampling stage prefetching on its own stream
+	// and communicator clones.
+	Algorithm  string
 	P          int
 	Sequential float64
 	// Overlapped is the analytic bound max(sampling, fetch, prop):
@@ -292,64 +297,96 @@ type OverlapRow struct {
 	Speedup float64
 }
 
-// OverlapAnalysis computes the overlap bound from measured phase
-// breakdowns — a future-work extension the bulk-synchronous pipeline
-// (Section 6) leaves on the table.
+// partitionedCFor shrinks the Figure 4 replication factor until it
+// satisfies the 1.5D grid constraint c^2 | p.
+func partitionedCFor(p int) int {
+	c := CFor(p)
+	for c > 1 && (p%(c*c) != 0 || p%c != 0) {
+		c /= 2
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// OverlapAnalysis measures the staged engine's overlapped schedule
+// against the bulk-synchronous one for both distributed algorithms —
+// the Graph Replicated pipeline (communication-free sampling) and,
+// with stream-safe collectives, the 1.5D Graph Partitioned pipeline
+// (collective-bearing sampling on its own stream and communicator
+// clones) — alongside the analytic busiest-stream bound.
 func OverlapAnalysis(w io.Writer, o Options) ([]OverlapRow, error) {
 	o = o.withDefaults()
 	fmt.Fprintf(w, "Overlap: sampling and fetch pipelined against propagation (staged engine)\n")
-	fmt.Fprintf(w, "%-10s %5s %12s %12s %12s %12s %8s\n", "dataset", "p", "sequential", "bound", "measured", "stall", "speedup")
+	fmt.Fprintf(w, "%-10s %-12s %5s %12s %12s %12s %12s %8s\n",
+		"dataset", "algorithm", "p", "sequential", "bound", "measured", "stall", "speedup")
 	var rows []OverlapRow
+	algos := []struct {
+		name string
+		alg  pipeline.Algorithm
+	}{
+		{"replicated", pipeline.GraphReplicated},
+		{"partitioned", pipeline.GraphPartitioned},
+	}
 	for _, name := range datasets.Names() {
 		d, err := datasets.ByName(name, o.Profile)
 		if err != nil {
 			return nil, err
 		}
-		for _, p := range o.GPUCounts {
-			// Overlap pays off exactly when memory forces k below the
-			// full batch count (multiple bulk rounds per epoch); use a
-			// quarter-epoch bulk so the schedule has rounds to pipeline.
-			processed := d.NumBatches()
-			if o.MaxBatches > 0 && o.MaxBatches < processed {
-				processed = o.MaxBatches
+		for _, algo := range algos {
+			for _, p := range o.GPUCounts {
+				c := CFor(p)
+				if algo.alg == pipeline.GraphPartitioned {
+					c = partitionedCFor(p)
+				}
+				// Overlap pays off exactly when memory forces k below the
+				// full batch count (multiple bulk rounds per epoch); use a
+				// quarter-epoch bulk so the schedule has rounds to pipeline.
+				processed := d.NumBatches()
+				if o.MaxBatches > 0 && o.MaxBatches < processed {
+					processed = o.MaxBatches
+				}
+				k := processed / 4
+				if k < p {
+					k = p
+				}
+				cfg := pipeline.Config{
+					P: p, C: c, K: k,
+					Algorithm:     algo.alg,
+					SparsityAware: algo.alg == pipeline.GraphPartitioned,
+					MaxBatches:    o.MaxBatches, Seed: o.Seed, Model: o.Model,
+				}
+				res, err := pipeline.Run(d, cfg)
+				if err != nil {
+					return nil, err
+				}
+				e := res.LastEpoch()
+				seq := e.Total
+				over := e.Sampling
+				if e.FeatureFetch > over {
+					over = e.FeatureFetch
+				}
+				if e.Propagation > over {
+					over = e.Propagation
+				}
+				ovCfg := cfg
+				ovCfg.Overlap = true
+				ovRes, err := pipeline.Run(d, ovCfg)
+				if err != nil {
+					return nil, err
+				}
+				row := OverlapRow{Dataset: name, Algorithm: algo.name, P: p,
+					Sequential: seq,
+					Overlapped: over, Measured: ovRes.LastEpoch().Total,
+					Stall: ovRes.LastEpoch().Stall}
+				if row.Measured > 0 {
+					row.Speedup = seq / row.Measured
+				}
+				rows = append(rows, row)
+				fmt.Fprintf(w, "%-10s %-12s %5d %12.5f %12.5f %12.5f %12.5f %7.2fx\n",
+					name, algo.name, p, seq, over, row.Measured, row.Stall, row.Speedup)
 			}
-			k := processed / 4
-			if k < p {
-				k = p
-			}
-			res, err := pipeline.Run(d, pipeline.Config{
-				P: p, C: CFor(p), K: k,
-				MaxBatches: o.MaxBatches, Seed: o.Seed, Model: o.Model,
-			})
-			if err != nil {
-				return nil, err
-			}
-			e := res.LastEpoch()
-			seq := e.Total
-			over := e.Sampling
-			if e.FeatureFetch > over {
-				over = e.FeatureFetch
-			}
-			if e.Propagation > over {
-				over = e.Propagation
-			}
-			ovRes, err := pipeline.Run(d, pipeline.Config{
-				P: p, C: CFor(p), K: k,
-				MaxBatches: o.MaxBatches, Seed: o.Seed, Model: o.Model,
-				Overlap: true,
-			})
-			if err != nil {
-				return nil, err
-			}
-			row := OverlapRow{Dataset: name, P: p, Sequential: seq,
-				Overlapped: over, Measured: ovRes.LastEpoch().Total,
-				Stall: ovRes.LastEpoch().Stall}
-			if row.Measured > 0 {
-				row.Speedup = seq / row.Measured
-			}
-			rows = append(rows, row)
-			fmt.Fprintf(w, "%-10s %5d %12.5f %12.5f %12.5f %12.5f %7.2fx\n",
-				name, p, seq, over, row.Measured, row.Stall, row.Speedup)
 		}
 	}
 	return rows, nil

@@ -323,6 +323,13 @@ func TestOverlapAnalysisBounds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	algos := map[string]int{}
+	for _, r := range rows {
+		algos[r.Algorithm]++
+	}
+	if algos["replicated"] == 0 || algos["partitioned"] == 0 {
+		t.Fatalf("overlap analysis must cover both algorithms: %v", algos)
+	}
 	for _, r := range rows {
 		if r.Overlapped > r.Sequential {
 			t.Fatalf("overlap bound above sequential: %+v", r)

@@ -28,9 +28,13 @@ type Options struct {
 	Model      cluster.CostModel
 
 	// Overlap runs the paper's pipeline on the staged engine's
-	// software-pipelined schedule wherever an experiment trains with
-	// the Graph Replicated algorithm (Fig4/Fig6); baselines stay
-	// bulk synchronous. Off reproduces the paper's schedule.
+	// software-pipelined schedule in the experiments that train with
+	// pipeline.Run and consult this knob (Fig4/Fig6, both Graph
+	// Replicated); baselines stay bulk synchronous, and
+	// OverlapAnalysis ignores the knob — it measures sequential vs
+	// overlapped for both algorithms (replicated and 1.5D
+	// partitioned) unconditionally. Off reproduces the paper's
+	// schedule.
 	Overlap bool
 }
 

@@ -9,13 +9,30 @@ import (
 
 // Comm is a communicator over a subset of the cluster's ranks, like an
 // MPI communicator. All members must call each collective the same
-// number of times in the same order.
+// number of times in the same order, and a communicator may be driven
+// by at most one stream of each member rank (enforced; see ForStream
+// for the NCCL-style duplication that lets concurrent streams issue
+// collectives safely).
 type Comm struct {
 	cl      *Cluster
 	members []int       // global rank ids, ascending
 	index   map[int]int // global rank id -> local index
 	rv      *rendezvous
 	link    Link
+
+	// Per-stream clones (NCCL-style communicator duplication). The
+	// clone map lives on the base communicator; clones point back at it
+	// so Dup composes regardless of receiver.
+	base  *Comm  // nil for a base communicator
+	key   string // dup key ("" for the base)
+	dupMu sync.Mutex
+	dups  map[string]*Comm
+
+	// drivers records, per member rank, the stream that drives this
+	// communicator (first use wins); a second stream of the same rank
+	// is a programming error that would interleave the rendezvous.
+	driverMu sync.Mutex
+	drivers  map[int]string
 
 	// lazily built sub-communicators for AllReduceSumHier.
 	hierOnce    sync.Once
@@ -63,6 +80,83 @@ func (c *Cluster) World() *Comm {
 	return c.NewComm(all)
 }
 
+// Dup returns the clone of this communicator dedicated to the given
+// key, creating it on first use (NCCL-style communicator duplication).
+// A clone shares the base communicator's members, link tier and
+// cluster but owns its own rendezvous, so collectives issued on
+// different clones never interleave. All member ranks asking for the
+// same key receive the same clone; the empty key returns the base
+// communicator. Dup on a clone delegates to its base, so the result
+// depends only on the key, never on the receiver.
+func (c *Comm) Dup(key string) *Comm {
+	base := c
+	if c.base != nil {
+		base = c.base
+	}
+	if key == "" {
+		return base
+	}
+	base.dupMu.Lock()
+	defer base.dupMu.Unlock()
+	if d, ok := base.dups[key]; ok {
+		return d
+	}
+	d := &Comm{
+		cl:      base.cl,
+		members: base.members,
+		index:   base.index,
+		rv:      newRendezvous(len(base.members)),
+		link:    base.link,
+		base:    base,
+		key:     key,
+	}
+	base.cl.mu.Lock()
+	base.cl.comms = append(base.cl.comms, d)
+	base.cl.mu.Unlock()
+	if base.dups == nil {
+		base.dups = map[string]*Comm{}
+	}
+	base.dups[key] = d
+	return d
+}
+
+// ForStream returns the clone of this communicator dedicated to the
+// rank handle's stream (Dup keyed by the stream name). Collective-
+// bearing code that may run on a forked stream — a prefetching
+// pipeline stage, say — calls this so each stream of a rank drives its
+// own clone: the main timeline gets the base communicator, and every
+// same-named stream across the member ranks meets on the same clone.
+func (c *Comm) ForStream(r *Rank) *Comm { return c.Dup(r.stream) }
+
+// checkDriver enforces the one-driving-stream-per-member-rank
+// invariant: the first collective a rank issues on this communicator
+// binds it to that rank's stream for the cluster's lifetime.
+func (c *Comm) checkDriver(r *Rank) {
+	c.driverMu.Lock()
+	defer c.driverMu.Unlock()
+	if c.drivers == nil {
+		c.drivers = map[int]string{}
+	}
+	prev, ok := c.drivers[r.ID]
+	if !ok {
+		c.drivers[r.ID] = r.stream
+		return
+	}
+	if prev != r.stream {
+		panic(fmt.Sprintf("cluster: comm %v (dup %q) driven by two streams of rank %d (%q then %q); duplicate it per stream with ForStream/Dup",
+			c.members, c.key, r.ID, prev, r.stream))
+	}
+}
+
+// resetDrivers clears the stream bindings; Cluster.Run calls it so a
+// later run may drive this communicator from a differently-named
+// stream than the last.
+func (c *Comm) resetDrivers() {
+	c.driverMu.Lock()
+	c.drivers = nil
+	c.driverMu.Unlock()
+}
+
 // Size returns the number of members.
 func (c *Comm) Size() int { return len(c.members) }
 
@@ -87,46 +181,135 @@ type slot struct {
 
 // rendezvous synchronizes one collective call across n participants
 // with a generation counter so back-to-back collectives don't race.
+// It detects two classes of would-be deadlocks and poisons itself so
+// every participant panics with a diagnostic instead of hanging:
+// mismatched collective sequences (members calling different
+// collectives on the same communicator) and abandoned collectives (a
+// member's rank body returned while peers wait for it).
 type rendezvous struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	n       int
 	arrived int
 	gen     uint64
+	op      string // collective name of the in-flight generation
+	waiting []bool // member indices arrived in the current generation
 	slots   []slot
 	out     []slot
+	failed  error // poisoned: every current and future participant panics
 }
 
 func newRendezvous(n int) *rendezvous {
-	rv := &rendezvous{n: n}
+	rv := &rendezvous{n: n, waiting: make([]bool, n)}
 	rv.cond = sync.NewCond(&rv.mu)
 	return rv
 }
 
-// exchange contributes one slot and returns all n slots once every
-// participant has arrived. The returned slice is shared and must be
-// treated as read-only.
-func (rv *rendezvous) exchange(idx int, s slot) []slot {
+// poison marks the rendezvous failed and wakes every waiter; callers
+// panic with the recorded error.
+func (rv *rendezvous) poison(err error) {
+	rv.failed = err
+	rv.cond.Broadcast()
+}
+
+// exchange contributes one slot under the named collective and returns
+// all n slots once every participant has arrived. The returned slice
+// is shared and must be treated as read-only. Deadlock detection: a
+// participant whose collective name disagrees with the in-flight one,
+// or whose peers can never arrive because their rank bodies already
+// returned, poisons the rendezvous and panics all participants.
+func (c *Comm) exchange(r *Rank, op string, s slot) []slot {
+	c.checkDriver(r)
+	idx := c.LocalIndex(r)
+	rv := c.rv
 	rv.mu.Lock()
 	defer rv.mu.Unlock()
+	if rv.failed != nil {
+		panic(rv.failed)
+	}
+	if rv.arrived == 0 {
+		rv.op = op
+	} else if rv.op != op {
+		err := fmt.Errorf("cluster: mismatched collectives on comm %v (dup %q): rank %d called %s while %s is in flight",
+			c.members, c.key, r.ID, op, rv.op)
+		rv.poison(err)
+		panic(err)
+	}
 	if rv.slots == nil {
 		rv.slots = make([]slot, rv.n)
 	}
 	rv.slots[idx] = s
+	rv.waiting[idx] = true
 	rv.arrived++
 	if rv.arrived == rv.n {
 		rv.out = rv.slots
 		rv.slots = nil
 		rv.arrived = 0
+		rv.op = ""
+		for i := range rv.waiting {
+			rv.waiting[i] = false
+		}
 		rv.gen++
 		rv.cond.Broadcast()
 		return rv.out
 	}
+	// A peer that already finished its rank body can never arrive. The
+	// scan is gated on the lock-free anyDone flag, so the common case
+	// (all bodies still running) pays nothing here.
+	if c.cl.anyDone.Load() {
+		if m := c.abandonedLocked(); m >= 0 {
+			err := c.abandonErr(m, op)
+			rv.poison(err)
+			panic(err)
+		}
+	}
 	gen := rv.gen
 	for rv.gen == gen {
+		if rv.failed != nil {
+			panic(rv.failed)
+		}
 		rv.cond.Wait()
 	}
 	return rv.out
+}
+
+// abandonedLocked returns a member rank that can never join the
+// in-flight collective because its body already returned, or -1.
+// Caller holds rv.mu.
+func (c *Comm) abandonedLocked() int {
+	rv := c.rv
+	if rv.failed != nil || rv.arrived == 0 || rv.arrived == rv.n {
+		return -1
+	}
+	c.cl.mu.Lock()
+	defer c.cl.mu.Unlock()
+	if c.cl.done == nil {
+		return -1
+	}
+	for i, m := range c.members {
+		if !rv.waiting[i] && c.cl.done[m] {
+			return m
+		}
+	}
+	return -1
+}
+
+// abandonErr is the shared deadlock diagnostic.
+func (c *Comm) abandonErr(m int, op string) error {
+	return fmt.Errorf("cluster: deadlock on comm %v (dup %q): rank %d finished without joining %s",
+		c.members, c.key, m, op)
+}
+
+// checkAbandoned poisons the rendezvous if members are waiting for a
+// peer whose rank body has already returned. Called by the cluster
+// each time a rank body finishes.
+func (c *Comm) checkAbandoned() {
+	rv := c.rv
+	rv.mu.Lock()
+	defer rv.mu.Unlock()
+	if m := c.abandonedLocked(); m >= 0 {
+		rv.poison(c.abandonErr(m, rv.op))
+	}
 }
 
 // maxClock returns the maximum entry clock across slots: collectives
@@ -160,7 +343,7 @@ func (c *Comm) finish(r *Rank, doneAt float64) {
 
 // Barrier synchronizes all members; cost α·⌈log2 n⌉ at the worst tier.
 func Barrier(c *Comm, r *Rank) {
-	slots := c.rv.exchange(c.LocalIndex(r), slot{clock: r.clock})
+	slots := c.exchange(r, "barrier", slot{clock: r.clock})
 	cost := c.cl.Model.Alpha[c.link] * log2Ceil(c.Size())
 	c.finish(r, maxClock(slots)+cost)
 }
@@ -176,7 +359,7 @@ func Broadcast[T any](c *Comm, r *Rank, root int, val T, bytes int) T {
 		s.val = val
 		s.bytes = bytes
 	}
-	slots := c.rv.exchange(me, s)
+	slots := c.exchange(r, "broadcast", s)
 	rs := slots[root]
 	cost := (c.cl.Model.Alpha[c.link] + float64(rs.bytes)*c.cl.Model.Beta[c.link]) * log2Ceil(c.Size())
 	if me == root {
@@ -191,8 +374,7 @@ func Broadcast[T any](c *Comm, r *Rank, root int, val T, bytes int) T {
 // AllGather collects every member's value; the result is indexed by
 // local member index. Cost α·⌈log2 n⌉ + β·(total bytes).
 func AllGather[T any](c *Comm, r *Rank, val T, bytes int) []T {
-	me := c.LocalIndex(r)
-	slots := c.rv.exchange(me, slot{clock: r.clock, val: val, bytes: bytes})
+	slots := c.exchange(r, "allgather", slot{clock: r.clock, val: val, bytes: bytes})
 	total := 0
 	for _, s := range slots {
 		total += s.bytes
@@ -212,7 +394,7 @@ func AllGather[T any](c *Comm, r *Rank, val T, bytes int) []T {
 // α + β·(own bytes).
 func Gather[T any](c *Comm, r *Rank, root int, val T, bytes int) []T {
 	me := c.LocalIndex(r)
-	slots := c.rv.exchange(me, slot{clock: r.clock, val: val, bytes: bytes})
+	slots := c.exchange(r, "gather", slot{clock: r.clock, val: val, bytes: bytes})
 	entry := maxClock(slots)
 	if me == root {
 		total := 0
@@ -249,7 +431,7 @@ func Scatter[T any](c *Comm, r *Rank, root int, parts []T, bytes func(T) int) T 
 		}
 		s.val = parts
 	}
-	slots := c.rv.exchange(me, s)
+	slots := c.exchange(r, "scatter", s)
 	entry := maxClock(slots)
 	rootParts := slots[root].val.([]T)
 	mine := rootParts[me]
@@ -279,7 +461,7 @@ func AllToAllv[T any](c *Comm, r *Rank, parts []T, bytes func(T) int) []T {
 	if len(parts) != c.Size() {
 		panic(fmt.Sprintf("cluster: AllToAllv passed %d parts for %d members", len(parts), c.Size()))
 	}
-	slots := c.rv.exchange(me, slot{clock: r.clock, val: parts})
+	slots := c.exchange(r, "alltoallv", slot{clock: r.clock, val: parts})
 	entry := maxClock(slots)
 	sent := 0
 	for i, p := range parts {
@@ -311,8 +493,7 @@ func AllToAllv[T any](c *Comm, r *Rank, parts []T, bytes func(T) int) []T {
 // paper's T_allreduce model, plus a memory-rate charge for the local
 // reduction.
 func AllReduceSum(c *Comm, r *Rank, x []float64) []float64 {
-	me := c.LocalIndex(r)
-	slots := c.rv.exchange(me, slot{clock: r.clock, val: x, bytes: 8 * len(x)})
+	slots := c.exchange(r, "allreduce", slot{clock: r.clock, val: x, bytes: 8 * len(x)})
 	entry := maxClock(slots)
 	out := make([]float64, len(x))
 	for _, s := range slots {
@@ -337,8 +518,7 @@ func AllReduceSum(c *Comm, r *Rank, x []float64) []float64 {
 // order. bytes sizes the caller's contribution. Used for sparse-matrix
 // all-reduce in the 1.5D SpGEMM.
 func AllReduceGeneric[T any](c *Comm, r *Rank, val T, bytes int, combine func(a, b T) T) T {
-	me := c.LocalIndex(r)
-	slots := c.rv.exchange(me, slot{clock: r.clock, val: val, bytes: bytes})
+	slots := c.exchange(r, "allreduce-generic", slot{clock: r.clock, val: val, bytes: bytes})
 	entry := maxClock(slots)
 	acc := slots[0].val.(T)
 	for _, s := range slots[1:] {

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Rank is one simulated device (a "GPU") executing the per-process body
@@ -306,6 +307,29 @@ type Cluster struct {
 	mu    sync.Mutex
 	comms []*Comm
 	mail  *mailbox
+	// done marks ranks whose Run bodies have returned; the deadlock
+	// detector uses it to poison rendezvous that can never complete.
+	// anyDone is the lock-free fast path: collectives skip the
+	// abandoned-peer scan entirely until some body has returned.
+	done    []bool
+	anyDone atomic.Bool
+}
+
+// markDone records that a rank's body returned and sweeps every
+// communicator for collectives now unable to complete, poisoning their
+// rendezvous so waiters panic with a diagnostic instead of hanging.
+func (c *Cluster) markDone(rank int) {
+	c.mu.Lock()
+	if c.done == nil {
+		c.done = make([]bool, c.N)
+	}
+	c.done[rank] = true
+	comms := append([]*Comm(nil), c.comms...)
+	c.mu.Unlock()
+	c.anyDone.Store(true)
+	for _, comm := range comms {
+		comm.checkAbandoned()
+	}
 }
 
 // New returns a cluster of n ranks under the given cost model.
@@ -318,11 +342,24 @@ func New(n int, model CostModel) *Cluster {
 
 // Run executes body once per rank concurrently and returns per-rank
 // accounting. Ranks must all reach every collective they participate
-// in; an error return from one rank while peers wait inside a
-// collective deadlocks (like real MPI), so bodies should return errors
+// in; a body that returns (error or not) while peers wait inside a
+// collective can never satisfy that collective, so the deadlock
+// detector poisons the rendezvous and the waiting ranks panic with a
+// diagnostic (real MPI would hang). Bodies should still return errors
 // only at synchronized points. Any streams a body forks must be joined
 // (their goroutines finished) before the body returns.
 func (c *Cluster) Run(body func(r *Rank) error) (*Result, error) {
+	// Reset the per-run deadlock-detector and stream-binding state so
+	// a cluster can host consecutive Run calls (a later run may drive
+	// a communicator from a differently-named stream than the last).
+	c.mu.Lock()
+	c.done = make([]bool, c.N)
+	comms := append([]*Comm(nil), c.comms...)
+	c.mu.Unlock()
+	c.anyDone.Store(false)
+	for _, comm := range comms {
+		comm.resetDrivers()
+	}
 	ranks := make([]*Rank, c.N)
 	for i := range ranks {
 		ranks[i] = &Rank{
@@ -339,6 +376,7 @@ func (c *Cluster) Run(body func(r *Rank) error) (*Result, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			defer c.markDone(i)
 			errs[i] = body(ranks[i])
 		}(i)
 	}

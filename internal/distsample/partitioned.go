@@ -107,8 +107,12 @@ func (ps *Partitioned) SpGEMM15D(r *cluster.Rank, q *sparse.CSR) *sparse.CSR {
 	g := ps.Grid
 	j := g.ColIndex(r.ID)
 	stages := g.Rows / g.C // the q = p/c^2 stages of Algorithm 2
-	colComm := g.ColComm(r.ID)
-	rowComm := g.RowComm(r.ID)
+	// Collectives go through the clone dedicated to the driving stream,
+	// so a sampling stage prefetching on its own stream never shares a
+	// rendezvous with the feature-fetch all-to-allv on the same grid
+	// communicators (stream-safe collectives; see cluster.Comm.ForStream).
+	colComm := g.ColComm(r.ID).ForStream(r)
+	rowComm := g.RowComm(r.ID).ForStream(r)
 
 	acc := sparse.Zero(q.Rows, ps.N)
 	for t := 0; t < stages; t++ {
@@ -264,7 +268,7 @@ func layerwisePartitioned(r *cluster.Rank, ps *Partitioned, batches [][]int, lay
 	ld := core.LADIES{}
 	g := ps.Grid
 	myCol := g.ColIndex(r.ID)
-	rowComm := g.RowComm(r.ID)
+	rowComm := g.RowComm(r.ID).ForStream(r)
 
 	for l := 0; l < layers; l++ {
 		layerSeed := seed + int64(l)*1e9

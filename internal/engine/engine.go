@@ -26,10 +26,25 @@
 // streams, never the sum of phases.
 //
 // Stage Run functions must be safe to run concurrently with the other
-// stages' Run functions: a stage owns its mutable state exclusively,
-// and a communicator may be used by at most one stage of the pipeline
-// (the cluster rendezvous matches collectives per communicator in
-// program order).
+// stages' Run functions: a stage owns its mutable state exclusively.
+// Stages may drive collectives: a stage declares the communicators it
+// drives (Stage.Comms), and its body issues them through the per-stream
+// clone (cluster.Comm.ForStream) so that in overlapped mode each
+// collective-bearing stage drives its own communicator clone — the
+// same-named stage streams across ranks meet on one clone, and no two
+// streams of a rank ever share a rendezvous. Execute pre-creates the
+// clone set and rejects duplicate stage names (two stages with one
+// name would share a stream name and therefore a clone).
+//
+// Collectives compose with the credit protocol: a stage body blocked
+// inside a collective holds no queue slots beyond the ones its items
+// occupy — the input credit is released at dequeue time, before the
+// body runs — and all ranks run the same stage decomposition with the
+// same queue capacities, so a collective's peers can always drain
+// their own queues far enough to arrive. Progress follows by induction
+// on (stage, item) order; the simulated completion time of a
+// collective is the max over the member streams' entry clocks plus the
+// modeled cost, which is exactly the backpressure-adjusted time.
 package engine
 
 import (
@@ -58,6 +73,13 @@ type Stage struct {
 	// sequential mode). in is the previous stage's output (nil for
 	// the first stage).
 	Run func(r *cluster.Rank, idx int, in any) (any, error)
+	// Comms declares the communicators whose collectives Run drives.
+	// The body must issue them through comm.ForStream(r) so each
+	// stage's stream gets its own clone; Execute pre-creates the
+	// clones (keyed by the stage name, which is the stream name) and
+	// validates that stage names are unique, since a shared name would
+	// alias two stages onto one clone and deadlock.
+	Comms []*cluster.Comm
 }
 
 // Pipeline executes items through a chain of stages.
@@ -115,6 +137,22 @@ func (p *Pipeline) executeSequential(r *cluster.Rank, n int) error {
 // queues.
 func (p *Pipeline) executeOverlapped(r *cluster.Rank, n int) error {
 	s := len(p.Stages)
+	names := make(map[string]int, s)
+	for i, st := range p.Stages {
+		if j, dup := names[st.Name]; dup {
+			return fmt.Errorf("engine: stages %d and %d share the name %q; overlapped stages need unique names (one stream and communicator clone set each)", j, i, st.Name)
+		}
+		names[st.Name] = i
+		// Pre-create the stage's communicator clones so every rank
+		// resolves the same clone set before any collective is issued.
+		// The final stage runs on the main timeline and keeps the base
+		// communicators (Dup of the empty stream name is the base).
+		if i < s-1 {
+			for _, comm := range st.Comms {
+				comm.Dup(st.Name)
+			}
+		}
+	}
 	items := make([]chan token, s-1)
 	credits := make([]chan float64, s-1)
 	for i, st := range p.Stages[:s-1] {

@@ -240,6 +240,84 @@ func TestOverlapAcrossRanksWithCollectives(t *testing.T) {
 	}
 }
 
+func TestCollectiveBearingPrefetchStage(t *testing.T) {
+	// A producer stage that itself drives collectives (like the 1.5D
+	// partitioned sampler) runs on its own stream with its own
+	// communicator clone, concurrently with the final stage's
+	// collectives on the base communicator. Values stay correct, the
+	// simulated makespan is deterministic, and overlap beats the
+	// sequential schedule.
+	run := func(overlap bool) (float64, float64) {
+		cl := cluster.New(2, cluster.Perlmutter())
+		world := cl.World()
+		var sum float64
+		res, err := cl.Run(func(r *cluster.Rank) error {
+			p := &Pipeline{
+				Overlap: overlap,
+				Stages: []Stage{
+					{
+						Name:  "sample",
+						Queue: 1,
+						Comms: []*cluster.Comm{world},
+						Run: func(rs *cluster.Rank, idx int, in any) (any, error) {
+							rs.AdvanceBy(1)
+							got := cluster.AllReduceSum(world.ForStream(rs), rs, []float64{float64(idx)})
+							return got[0], nil
+						},
+					},
+					{
+						Name:  "train",
+						Comms: []*cluster.Comm{world},
+						Run: func(rm *cluster.Rank, idx int, in any) (any, error) {
+							rm.AdvanceBy(0.5)
+							got := cluster.AllReduceSum(world.ForStream(rm), rm, []float64{in.(float64)})
+							if rm.ID == 0 {
+								sum += got[0]
+							}
+							return nil, nil
+						},
+					},
+				},
+			}
+			return p.Execute(r, 4)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.SimTime, sum
+	}
+	seqT, seqSum := run(false)
+	ovT, ovSum := run(true)
+	// Each item idx contributes 2*(2*idx): reduced across 2 ranks in
+	// the sample stage, then again in the train stage.
+	if want := 4.0 * (0 + 1 + 2 + 3); seqSum != want || ovSum != want {
+		t.Fatalf("collective values corrupted: seq %v, overlap %v, want %v", seqSum, ovSum, want)
+	}
+	if ovT >= seqT {
+		t.Fatalf("overlapped makespan %v not below sequential %v", ovT, seqT)
+	}
+	ovT2, _ := run(true)
+	if ovT != ovT2 {
+		t.Fatalf("overlapped collective schedule nondeterministic: %v vs %v", ovT, ovT2)
+	}
+}
+
+func TestDuplicateStageNamesRejected(t *testing.T) {
+	p := &Pipeline{
+		Overlap: true,
+		Stages: []Stage{
+			chargeStage("same", 1, 1, nil),
+			chargeStage("same", 1, 1, nil),
+			chargeStage("sink", 1, 1, nil),
+		},
+	}
+	cl := cluster.New(1, cluster.Perlmutter())
+	_, err := cl.Run(func(r *cluster.Rank) error { return p.Execute(r, 2) })
+	if err == nil {
+		t.Fatal("duplicate stage names must be rejected in overlapped mode")
+	}
+}
+
 func TestEmptyAndSingleStage(t *testing.T) {
 	p := &Pipeline{}
 	cl := cluster.New(1, cluster.Perlmutter())

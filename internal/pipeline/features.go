@@ -72,31 +72,55 @@ func (fs *FeatureStore) Fetch(r *cluster.Rank, vertices []int) *dense.Matrix {
 // served from device memory and never enter the all-to-allv, shrinking
 // the communication volume. Rows fetched remotely are admitted to the
 // cache. Pass a nil cache to disable.
+//
+// Repeated vertices in one request are deduplicated before the
+// all-to-allv: each distinct vertex crosses the wire (and touches the
+// cache — one Lookup, at most one Admit) once per request, and its row
+// is then copied into every output slot that asked for it.
+//
+// The collectives go through the communicator clone dedicated to the
+// calling stream (ForStream), so a fetch stage prefetching on its own
+// stream coexists with collective-bearing sampling on another.
 func (fs *FeatureStore) FetchCached(r *cluster.Rank, vertices []int, c cache.Cache) *dense.Matrix {
 	g := fs.Grid
-	colComm := g.ColComm(r.ID)
+	colComm := g.ColComm(r.ID).ForStream(r)
 	members := colComm.Size() // == g.Rows
 	f := fs.H.Cols
 	out := dense.New(len(vertices), f)
+	me := colComm.LocalIndex(r)
 
-	// Partition the request by owning block row, remembering where
-	// each vertex goes in the output. Cache hits are served
-	// immediately from device memory.
+	// Partition the request by owning block row, deduplicating repeats
+	// and remembering every output position each distinct vertex fills.
+	// Cache hits are served immediately from device memory.
 	reqs := make([]*fetchRequest, members)
-	slotOf := make([][]int, members) // output positions per owner
+	posOf := make([]map[int]int, members) // vertex -> index in reqs[m].vertices
+	slotOf := make([][][]int, members)    // output positions per requested vertex
 	for m := range reqs {
 		reqs[m] = &fetchRequest{}
+		posOf[m] = map[int]int{}
 	}
 	var cachedBytes int64
+	cacheHit := map[int]bool{} // vertices served from cache this request
 	for i, v := range vertices {
-		owner := graph.BlockOwner(fs.N, members, v)
-		if c != nil && owner != colComm.LocalIndex(r) && c.Lookup(v) {
+		if cacheHit[v] {
 			copy(out.RowView(i), fs.global.RowView(v))
 			cachedBytes += int64(8 * f)
 			continue
 		}
+		owner := graph.BlockOwner(fs.N, members, v)
+		if p, ok := posOf[owner][v]; ok {
+			slotOf[owner][p] = append(slotOf[owner][p], i)
+			continue
+		}
+		if c != nil && owner != me && c.Lookup(v) {
+			cacheHit[v] = true
+			copy(out.RowView(i), fs.global.RowView(v))
+			cachedBytes += int64(8 * f)
+			continue
+		}
+		posOf[owner][v] = len(reqs[owner].vertices)
 		reqs[owner].vertices = append(reqs[owner].vertices, v)
-		slotOf[owner] = append(slotOf[owner], i)
+		slotOf[owner] = append(slotOf[owner], []int{i})
 	}
 	if cachedBytes > 0 {
 		r.ChargeMem(cachedBytes)
@@ -123,10 +147,11 @@ func (fs *FeatureStore) FetchCached(r *cluster.Rank, vertices []int, c cache.Cac
 		return p.rows.Bytes()
 	})
 
-	me := colComm.LocalIndex(r)
 	for m, p := range got {
-		for i, slot := range slotOf[m] {
-			copy(out.RowView(slot), p.rows.RowView(i))
+		for i, slots := range slotOf[m] {
+			for _, slot := range slots {
+				copy(out.RowView(slot), p.rows.RowView(i))
+			}
 			if c != nil && m != me {
 				c.Admit(reqs[m].vertices[i])
 			}

@@ -30,11 +30,17 @@ const (
 	GraphPartitioned
 )
 
+// KAll is the explicit "sample every minibatch in one bulk" setting
+// for Config.K. The schedule treats any K <= 0 as "all"; KAll differs
+// from a plain 0 only for the autotuner, which reads 0 as "unset —
+// choose for me" and leaves KAll (or any negative K) untouched.
+const KAll = -1
+
 // Config drives one simulated training run.
 type Config struct {
 	P int // simulated GPUs
 	C int // replication factor (chosen per memory in Figure 4)
-	K int // bulk size: minibatches sampled per bulk call globally; 0 = all
+	K int // bulk size: minibatches sampled per bulk call globally; <= 0 = all (see KAll)
 
 	Algorithm     Algorithm
 	SparsityAware bool // Algorithm 2 row fetching (vs oblivious broadcast)
@@ -49,13 +55,17 @@ type Config struct {
 	// minibatches proceed on their own simulated streams (bounded
 	// queues, double-buffered BulkSample handoff) while the current
 	// minibatch trains, so epoch time becomes the max over concurrent
-	// streams instead of the sum of phases. Applies to the Graph
-	// Replicated algorithm, whose sampling step is communication-free
-	// (Section 5.1); the Graph Partitioned algorithm samples with
-	// collectives and always runs the bulk-synchronous schedule. The
-	// paper's pipeline is bulk synchronous; this is the natural next
-	// optimization its structure permits. Off by default — the
-	// sequential schedule is identical to the paper's Figure 3 loop.
+	// streams instead of the sum of phases. Applies to both
+	// algorithms: Graph Replicated sampling is communication-free
+	// (Section 5.1), and the Graph Partitioned algorithm's collectives
+	// run stream-safely on per-stage communicator clones
+	// (cluster.Comm.ForStream), so its sampling and feature-fetch
+	// stages prefetch on their own streams too. The paper's pipeline
+	// is bulk synchronous; this is the natural next optimization its
+	// structure permits. Off by default — the sequential schedule is
+	// identical to the paper's Figure 3 loop, and either way the
+	// training outcome is bit-identical (the schedule moves when work
+	// is charged, never what is computed).
 	Overlap bool
 
 	Sampler string // "sage", "ladies" or "fastgcn"
@@ -136,7 +146,13 @@ type EpochStats struct {
 	Stall        float64
 	SamplingComm float64
 	FetchComm    float64
-	Loss         float64
+	// Loss is the epoch's global mean training loss: every rank's loss
+	// sum weighted by the batches it actually counted, so uneven batch
+	// splits across ranks do not skew it toward any one rank's share.
+	Loss float64
+	// LossBatches is the number of minibatch losses aggregated into
+	// Loss across all ranks (dummy-padded iterations excluded).
+	LossBatches int
 	// ValAccuracy is populated when Config.TrackVal is set.
 	ValAccuracy float64
 }
@@ -148,6 +164,14 @@ type Result struct {
 	// Params holds rank 0's trained parameters.
 	Params []float64
 	Cfg    Config
+	// EffectiveK is the bulk size the schedule actually used per
+	// round: sampling blocks times batches per block per round. It can
+	// exceed a requested 0 < Cfg.K < samplingBlocks, because every
+	// block samples at least one batch per round — the schedule clamps
+	// the bulk up rather than leaving blocks idle, and surfaces the
+	// inflation here so memory-budgeted callers (the autotuner picked
+	// K to fit) can see it.
+	EffectiveK int
 }
 
 // LastEpoch returns the final epoch's stats, or a zero EpochStats for
@@ -184,6 +208,11 @@ func makeSchedule(cfg Config, grid *cluster.Grid, totalBatches int) schedule {
 	}
 	s.sampPerRound = bulk / s.samplingBlocks
 	if s.sampPerRound == 0 {
+		// A requested bulk below the block count cannot be honored:
+		// every block samples at least one batch per round, so the
+		// effective bulk is samplingBlocks > K. effectiveBulk surfaces
+		// the inflation (Result.EffectiveK) instead of hiding it from
+		// memory-budgeted callers.
 		s.sampPerRound = 1
 	}
 	// The largest block owns ceil(total/blocks) batches.
@@ -195,6 +224,11 @@ func makeSchedule(cfg Config, grid *cluster.Grid, totalBatches int) schedule {
 	s.trainPerRound = (s.sampPerRound + s.trainStride - 1) / s.trainStride
 	return s
 }
+
+// effectiveBulk is the global bulk size the schedule realizes per
+// round. It exceeds the requested K exactly when 0 < K < samplingBlocks
+// forced sampPerRound up to one batch per block.
+func (s schedule) effectiveBulk() int { return s.samplingBlocks * s.sampPerRound }
 
 // blockScale returns the extrapolation factor from a truncated batch
 // list to the full epoch: the ratio of the largest per-block share of
@@ -222,15 +256,6 @@ type fetchItem struct {
 type trainItem struct {
 	bg    *core.BatchGraph
 	feats *dense.Matrix
-}
-
-// overlapped reports whether the run uses the engine's software-
-// pipelined schedule: the knob is on and sampling is communication-
-// free (the partitioned algorithm samples with collectives, which
-// cannot move to a concurrent stream). The run loop and the stats
-// aggregation must agree on this.
-func (c Config) overlapped() bool {
-	return c.Overlap && c.Algorithm != GraphPartitioned
 }
 
 // newSampler maps the config's sampler name to its implementation.
@@ -294,7 +319,11 @@ func Run(d *datasets.Dataset, cfg Config) (*Result, error) {
 		fanouts = f
 	}
 
-	losses := make([][]float64, cfg.P)
+	// Per-rank loss sums and batch counts, aggregated after the run
+	// into a global batch-weighted epoch loss (ranks may count unequal
+	// batch shares when the batch list divides unevenly).
+	lossSums := make([][]float64, cfg.P)
+	lossCounts := make([][]int, cfg.P)
 	var finalParams []float64
 	var epochParams [][]float64 // rank 0 per-epoch snapshots for TrackVal
 	if cfg.TrackVal {
@@ -316,7 +345,8 @@ func Run(d *datasets.Dataset, cfg Config) (*Result, error) {
 		}
 		opt := dense.NewAdam(cfg.LR)
 		store := stores[r.ID]
-		losses[r.ID] = make([]float64, cfg.Epochs)
+		lossSums[r.ID] = make([]float64, cfg.Epochs)
+		lossCounts[r.ID] = make([]int, cfg.Epochs)
 		var featCache cache.Cache
 		if cfg.CachePolicy != cache.None && cfg.CacheFrac > 0 {
 			capacity := int(cfg.CacheFrac * float64(d.Graph.NumVertices()))
@@ -332,7 +362,15 @@ func Run(d *datasets.Dataset, cfg Config) (*Result, error) {
 			local = distsample.ReplicatedBatches(cfg.P, r.ID, batches)
 		}
 		sampler := newSampler(cfg.Sampler)
-		overlap := cfg.overlapped()
+		// Communicators each stage drives: in overlapped mode the
+		// engine gives every collective-bearing stage its own stream,
+		// and the stage bodies reach the matching communicator clones
+		// with ForStream (stream-safe collectives).
+		fetchComms := []*cluster.Comm{grid.ColComm(r.ID)}
+		var sampComms []*cluster.Comm
+		if cfg.Algorithm == GraphPartitioned {
+			sampComms = []*cluster.Comm{grid.ColComm(r.ID), grid.RowComm(r.ID)}
+		}
 
 		for epoch := 0; epoch < cfg.Epochs; epoch++ {
 			epochSeed := cfg.Seed + int64(epoch)*7919
@@ -345,7 +383,7 @@ func Run(d *datasets.Dataset, cfg Config) (*Result, error) {
 			var chunk [][]int
 
 			pipe := &engine.Pipeline{
-				Overlap: overlap,
+				Overlap: cfg.Overlap,
 				Stages: []engine.Stage{
 					// 1) Sampling (Figure 3 left): one bulk call per
 					// round, emitted one extracted minibatch at a
@@ -359,6 +397,7 @@ func Run(d *datasets.Dataset, cfg Config) (*Result, error) {
 						// sampled: the double-buffered BulkSample
 						// handoff.
 						Queue: sched.trainPerRound,
+						Comms: sampComms,
 						Run: func(rs *cluster.Rank, idx int, _ any) (any, error) {
 							round, t := idx/sched.trainPerRound, idx%sched.trainPerRound
 							if t == 0 {
@@ -402,6 +441,7 @@ func Run(d *datasets.Dataset, cfg Config) (*Result, error) {
 					{
 						Name:  PhaseFeatureFetch,
 						Queue: 1,
+						Comms: fetchComms,
 						Run: func(rf *cluster.Rank, idx int, in any) (any, error) {
 							it := in.(fetchItem)
 							rf.SetPhase(PhaseFeatureFetch)
@@ -414,7 +454,8 @@ func Run(d *datasets.Dataset, cfg Config) (*Result, error) {
 					// iterations without a real batch contribute
 					// zero gradients.
 					{
-						Name: PhasePropagation,
+						Name:  PhasePropagation,
+						Comms: []*cluster.Comm{world},
 						Run: func(rm *cluster.Rank, idx int, in any) (any, error) {
 							ti := in.(trainItem)
 							rm.SetPhase(PhasePropagation)
@@ -455,9 +496,8 @@ func Run(d *datasets.Dataset, cfg Config) (*Result, error) {
 			if err := pipe.Execute(r, sched.rounds*sched.trainPerRound); err != nil {
 				return err
 			}
-			if lossN > 0 {
-				losses[r.ID][epoch] = lossSum / float64(lossN)
-			}
+			lossSums[r.ID][epoch] = lossSum
+			lossCounts[r.ID][epoch] = lossN
 			if cfg.TrackVal && r.ID == 0 {
 				epochParams[epoch] = append([]float64(nil), model.Params()...)
 			}
@@ -480,8 +520,8 @@ func Run(d *datasets.Dataset, cfg Config) (*Result, error) {
 	perEpochComm := func(phase string) float64 {
 		return res.PhaseComm(phase) * scale / float64(cfg.Epochs)
 	}
-	overlapped := cfg.overlapped()
 	for e := range epochs {
+		loss, lossN := AggregateLoss(lossSums, lossCounts, e)
 		epochs[e] = EpochStats{
 			Sampling:     perEpoch(PhaseSampling),
 			FeatureFetch: perEpoch(PhaseFeatureFetch),
@@ -489,9 +529,10 @@ func Run(d *datasets.Dataset, cfg Config) (*Result, error) {
 			Stall:        perEpoch(engine.PhaseStall),
 			SamplingComm: perEpochComm(PhaseSampling),
 			FetchComm:    perEpochComm(PhaseFeatureFetch),
-			Loss:         losses[0][e],
+			Loss:         loss,
+			LossBatches:  lossN,
 		}
-		if overlapped {
+		if cfg.Overlap {
 			// Concurrent streams: epoch time is the makespan (max
 			// over streams — the rank's final clock), not the sum of
 			// the per-stream phase totals.
@@ -503,5 +544,26 @@ func Run(d *datasets.Dataset, cfg Config) (*Result, error) {
 			epochs[e].ValAccuracy = Evaluate(d, epochParams[e], cfg, d.Val, nil)
 		}
 	}
-	return &Result{Epochs: epochs, Cluster: res, Params: finalParams, Cfg: cfg}, nil
+	return &Result{Epochs: epochs, Cluster: res, Params: finalParams, Cfg: cfg,
+		EffectiveK: sched.effectiveBulk()}, nil
+}
+
+// AggregateLoss folds per-rank loss sums into the global batch-weighted
+// mean for one epoch: sum of all ranks' loss sums over the total number
+// of counted batches. A rank without a real batch that epoch carries
+// zero weight; rank 0's local average is NOT the epoch loss whenever
+// batches divide unevenly across ranks.
+func AggregateLoss(sums [][]float64, counts [][]int, epoch int) (float64, int) {
+	total, n := 0.0, 0
+	for rank := range sums {
+		if sums[rank] == nil {
+			continue
+		}
+		total += sums[rank][epoch]
+		n += counts[rank][epoch]
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return total / float64(n), n
 }

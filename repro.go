@@ -160,9 +160,10 @@ func Perlmutter() CostModel { return cluster.Perlmutter() }
 // pipeline) and returns per-epoch phase breakdowns and the trained
 // parameters. The epoch loop runs on the staged-execution engine:
 // set TrainConfig.Overlap to software-pipeline bulk sampling and
-// feature fetching against propagation (training outcomes are
-// bit-identical to the default bulk-synchronous schedule; only the
-// simulated schedule changes).
+// feature fetching against propagation — for the Graph Replicated and,
+// via stream-safe communicator clones, the 1.5D Graph Partitioned
+// algorithm alike (training outcomes are bit-identical to the default
+// bulk-synchronous schedule; only the simulated schedule changes).
 func Train(d *Dataset, cfg TrainConfig) (*TrainResult, error) {
 	return pipeline.Run(d, cfg)
 }
