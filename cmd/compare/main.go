@@ -21,13 +21,20 @@ import (
 
 func main() {
 	var (
-		dataset = flag.String("dataset", "products", "products, protein, papers")
-		profile = flag.String("profile", "small", "tiny, small, bench")
-		p       = flag.Int("p", 8, "simulated GPUs")
-		maxB    = flag.Int("maxbatches", 0, "cap batches per epoch (0 = all)")
-		seed    = flag.Int64("seed", 1, "seed")
+		dataset   = flag.String("dataset", "products", "products, protein, papers")
+		profile   = flag.String("profile", "small", "tiny, small, bench")
+		p         = flag.Int("p", 8, "simulated GPUs")
+		maxB      = flag.Int("maxbatches", 0, "cap batches per epoch (0 = all)")
+		seed      = flag.Int64("seed", 1, "seed")
+		allreduce = flag.String("allreduce", "default", cluster.AllReduceFlagUsage)
+		alltoall  = flag.String("alltoall", "default", cluster.AllToAllFlagUsage)
 	)
 	flag.Parse()
+
+	coll, err := cluster.ParseCollectives(*allreduce, *alltoall)
+	if err != nil {
+		fatal(err)
+	}
 
 	prof := datasets.Small
 	switch *profile {
@@ -51,14 +58,15 @@ func main() {
 	}
 
 	ours, err := pipeline.Run(d, pipeline.Config{
-		P: *p, C: c, K: k, MaxBatches: *maxB, Seed: *seed})
+		P: *p, C: c, K: k, MaxBatches: *maxB, Seed: *seed, Collectives: coll})
 	if err != nil {
 		fatal(err)
 	}
 	row("bulk pipeline (replicated)", ours.LastEpoch())
 
 	over, err := pipeline.Run(d, pipeline.Config{
-		P: *p, C: c, K: maxInt(d.NumBatches()/4, *p), MaxBatches: *maxB, Seed: *seed, Overlap: true})
+		P: *p, C: c, K: maxInt(d.NumBatches()/4, *p), MaxBatches: *maxB, Seed: *seed, Overlap: true,
+		Collectives: coll})
 	if err != nil {
 		fatal(err)
 	}
@@ -67,7 +75,7 @@ func main() {
 	if *p >= 4 && (*p/2)%2 == 0 {
 		part, err := pipeline.Run(d, pipeline.Config{
 			P: *p, C: 2, K: k, MaxBatches: *maxB, Seed: *seed,
-			Algorithm: pipeline.GraphPartitioned, SparsityAware: true})
+			Algorithm: pipeline.GraphPartitioned, SparsityAware: true, Collectives: coll})
 		if err != nil {
 			fatal(err)
 		}
@@ -75,14 +83,14 @@ func main() {
 	}
 
 	quiver, err := baseline.RunQuiver(d, baseline.QuiverConfig{
-		P: *p, MaxBatches: *maxB, Seed: *seed})
+		P: *p, MaxBatches: *maxB, Seed: *seed, Collectives: coll})
 	if err != nil {
 		fatal(err)
 	}
 	row("quiver strategy (GPU)", quiver.LastEpoch())
 
 	uva, err := baseline.RunQuiver(d, baseline.QuiverConfig{
-		P: *p, UVA: true, MaxBatches: *maxB, Seed: *seed})
+		P: *p, UVA: true, MaxBatches: *maxB, Seed: *seed, Collectives: coll})
 	if err != nil {
 		fatal(err)
 	}
@@ -93,7 +101,9 @@ func main() {
 	if *maxB > 0 && *maxB < len(batches) {
 		batches = batches[:*maxB]
 	}
-	cl := cluster.New(*p, cluster.Perlmutter())
+	model := cluster.Perlmutter()
+	model.Collectives = coll
+	cl := cluster.New(*p, model)
 	world := cl.World()
 	oneD := distsample.NewOneDSet(*p, d.Graph.Adj)
 	res, err := cl.Run(func(r *cluster.Rank) error {

@@ -15,13 +15,14 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/cluster"
 	"repro/internal/datasets"
 	"repro/internal/trace"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "one of: table2, table3, fig4, fig5, fig6, fig7sage, fig7ladies, acc, tprob, amortization, cachesweep, sparsity, partition, explosion, variance, overlap, sensitivity, straggler, verify, all")
+		experiment = flag.String("experiment", "all", "one of: table2, table3, fig4, fig5, fig6, fig7sage, fig7ladies, acc, tprob, collectives, amortization, cachesweep, sparsity, partition, explosion, variance, overlap, sensitivity, straggler, verify, all")
 		profile    = flag.String("profile", "small", "dataset size: tiny, small, bench")
 		gpus       = flag.String("gpus", "", "comma-separated GPU counts (default per experiment)")
 		maxBatches = flag.Int("maxbatches", 0, "cap batches per epoch and extrapolate (0 = all)")
@@ -29,6 +30,8 @@ func main() {
 		seed       = flag.Int64("seed", 20240101, "experiment seed")
 		jsonOut    = flag.String("json", "", "also write results as JSON to this file")
 		overlap    = flag.Bool("overlap", false, "run the replicated-pipeline training experiments (fig4, fig6) on the overlapped engine schedule; the overlap experiment always measures sequential vs overlapped for both algorithms")
+		allreduce  = flag.String("allreduce", "default", cluster.AllReduceFlagUsage+" (the collectives and tprob experiments sweep their algorithm sets regardless)")
+		alltoall   = flag.String("alltoall", "default", cluster.AllToAllFlagUsage)
 	)
 	flag.Parse()
 
@@ -36,7 +39,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := bench.Options{Profile: prof, MaxBatches: *maxBatches, Seed: *seed, Overlap: *overlap}
+	coll, err := cluster.ParseCollectives(*allreduce, *alltoall)
+	if err != nil {
+		fatal(err)
+	}
+	opts := bench.Options{Profile: prof, MaxBatches: *maxBatches, Seed: *seed, Overlap: *overlap,
+		Collectives: coll}
 	if *gpus != "" {
 		counts, err := parseInts(*gpus)
 		if err != nil {
@@ -49,6 +57,8 @@ func main() {
 		"seed":       fmt.Sprint(*seed),
 		"maxbatches": fmt.Sprint(*maxBatches),
 		"overlap":    fmt.Sprint(*overlap),
+		"allreduce":  coll.AllReduce.String(),
+		"alltoall":   coll.AllToAll.String(),
 	})
 
 	run := func(id string) error {
@@ -89,6 +99,10 @@ func main() {
 				p = opts.GPUCounts[0]
 			}
 			rows, err := bench.Tprob(os.Stdout, "products", p, []int{1, 2, 4}, opts)
+			report.Add(id, rows)
+			return err
+		case "collectives":
+			rows, err := bench.CollectiveSweep(os.Stdout, opts)
 			report.Add(id, rows)
 			return err
 		case "amortization":
@@ -140,7 +154,7 @@ func main() {
 	ids := []string{*experiment}
 	if *experiment == "all" {
 		ids = []string{"table2", "table3", "fig4", "fig5", "fig6", "fig7sage", "fig7ladies",
-			"acc", "tprob", "amortization", "cachesweep", "sparsity", "partition", "explosion", "variance", "overlap", "sensitivity", "straggler", "verify"}
+			"acc", "tprob", "collectives", "amortization", "cachesweep", "sparsity", "partition", "explosion", "variance", "overlap", "sensitivity", "straggler", "verify"}
 	}
 	for i, id := range ids {
 		if i > 0 {

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/autotune"
 	"repro/internal/cache"
+	"repro/internal/cluster"
 	"repro/internal/datasets"
 	"repro/internal/graphio"
 	"repro/internal/pipeline"
@@ -35,6 +36,8 @@ func main() {
 		cacheFrac = flag.Float64("cachefrac", 0.1, "cache capacity as fraction of vertices")
 		dropout   = flag.Float64("dropout", 0, "dropout rate on hidden activations")
 		overlap   = flag.Bool("overlap", false, "software-pipeline sampling and feature fetch against propagation (both algorithms; partitioned collectives run on per-stage streams)")
+		allreduce = flag.String("allreduce", "default", cluster.AllReduceFlagUsage+" (with -autotune, default = choose by node span)")
+		alltoall  = flag.String("alltoall", "default", cluster.AllToAllFlagUsage)
 		ckptOut   = flag.String("checkpoint", "", "write trained parameters to this file")
 		ckptIn    = flag.String("resume", "", "initialize parameters from this checkpoint")
 		tune      = flag.Bool("autotune", false, "choose c and k automatically by memory model")
@@ -59,12 +62,17 @@ func main() {
 		}
 	}
 
+	coll, err := cluster.ParseCollectives(*allreduce, *alltoall)
+	if err != nil {
+		fatal(err)
+	}
 	cfg := pipeline.Config{
 		P: *p, C: *c, K: *k,
 		Sampler: *sampler,
 		Epochs:  *epochs, LR: *lr, Seed: *seed,
-		MaxBatches: *maxB,
-		Overlap:    *overlap,
+		MaxBatches:  *maxB,
+		Overlap:     *overlap,
+		Collectives: coll,
 	}
 	if *algorithm == "partitioned" {
 		cfg.Algorithm = pipeline.GraphPartitioned
@@ -89,7 +97,7 @@ func main() {
 			fatal(err)
 		}
 		cfg = tuned
-		fmt.Printf("autotune: c=%d k=%s\n", cfg.C, kLabel(cfg.K))
+		fmt.Printf("autotune: c=%d k=%s allreduce=%s\n", cfg.C, kLabel(cfg.K), cfg.Collectives.AllReduce)
 	}
 
 	fmt.Printf("dataset=%s vertices=%d edges=%d batches=%d | p=%d c=%d sampler=%s algorithm=%s\n",

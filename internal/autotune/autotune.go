@@ -9,6 +9,7 @@ package autotune
 import (
 	"fmt"
 
+	"repro/internal/cluster"
 	"repro/internal/datasets"
 	"repro/internal/pipeline"
 )
@@ -111,12 +112,42 @@ func Tune(m MemoryModel, d *datasets.Dataset, p int) (Choice, error) {
 	return best, nil
 }
 
+// TuneCollectives fills the gradient all-reduce schedule when the
+// config leaves it unset, mirroring the K/KAll sentinel convention:
+// cluster.DefaultAlgorithm (the zero value) means "choose for me",
+// while any explicit selection — an explicit cluster.FlatTree included
+// — passes through untouched. The tuner picks Hierarchical when the
+// run spans nodes (the slow tier then carries node-count, not
+// rank-count, messages) and pins FlatTree otherwise, so a tuned config
+// round-trips through TuneCollectives unchanged.
+func TuneCollectives(model cluster.CostModel, p int, t cluster.Collectives) cluster.Collectives {
+	if t.AllReduce != cluster.DefaultAlgorithm {
+		return t
+	}
+	if model.GPUsPerNode == 0 {
+		model = cluster.Perlmutter()
+	}
+	if p > model.GPUsPerNode {
+		t.AllReduce = cluster.Hierarchical
+	} else {
+		t.AllReduce = cluster.FlatTree
+	}
+	return t
+}
+
 // TuneConfig fills C and K of a pipeline config using the memory
-// model, leaving explicit values untouched. K's "unset" sentinel is 0
-// and only 0: an explicit "all minibatches" request is pipeline.KAll
-// (any negative K), which passes through untuned — K = 0 cannot mean
-// both "all" and "choose for me" at once.
+// model, and the collective-algorithm table via TuneCollectives,
+// leaving explicit values untouched. K's "unset" sentinel is 0 and
+// only 0: an explicit "all minibatches" request is pipeline.KAll (any
+// negative K), which passes through untuned — K = 0 cannot mean both
+// "all" and "choose for me" at once. The legacy HierAllReduce sugar
+// counts as an explicit all-reduce selection.
 func TuneConfig(m MemoryModel, d *datasets.Dataset, cfg pipeline.Config) (pipeline.Config, error) {
+	// A selection made at either level — Config.Collectives or directly
+	// on the model (the two are merged by the pipeline) — is explicit.
+	if !cfg.HierAllReduce && cfg.Model.Collectives.AllReduce == cluster.DefaultAlgorithm {
+		cfg.Collectives = TuneCollectives(cfg.Model, cfg.P, cfg.Collectives)
+	}
 	if cfg.C > 0 && cfg.K != 0 {
 		return cfg, nil
 	}

@@ -3,6 +3,7 @@ package autotune
 import (
 	"testing"
 
+	"repro/internal/cluster"
 	"repro/internal/datasets"
 	"repro/internal/pipeline"
 )
@@ -147,5 +148,78 @@ func TestTunedConfigRuns(t *testing.T) {
 	}
 	if res.LastEpoch().Total <= 0 {
 		t.Fatal("tuned run produced no time")
+	}
+}
+
+// The tuner fills the all-reduce schedule only when it is unset,
+// mirroring the K/KAll sentinel convention: DefaultAlgorithm means
+// "choose for me", every explicit selection — explicit FlatTree
+// included — passes through untouched.
+func TestTuneCollectivesSentinel(t *testing.T) {
+	model := cluster.Perlmutter() // 4 GPUs per node
+
+	got := TuneCollectives(model, 16, cluster.Collectives{})
+	if got.AllReduce != cluster.Hierarchical {
+		t.Fatalf("multi-node unset: chose %v, want hier", got.AllReduce)
+	}
+	got = TuneCollectives(model, 4, cluster.Collectives{})
+	if got.AllReduce != cluster.FlatTree {
+		t.Fatalf("single-node unset: chose %v, want flat", got.AllReduce)
+	}
+	// Explicit selections are left alone.
+	for _, explicit := range []cluster.CollectiveAlgorithm{cluster.FlatTree, cluster.Ring} {
+		got = TuneCollectives(model, 16, cluster.Collectives{AllReduce: explicit})
+		if got.AllReduce != explicit {
+			t.Fatalf("explicit %v overridden to %v", explicit, got.AllReduce)
+		}
+	}
+	// A tuned table round-trips unchanged.
+	once := TuneCollectives(model, 16, cluster.Collectives{})
+	if twice := TuneCollectives(model, 16, once); twice != once {
+		t.Fatalf("tuned table re-tuned: %+v vs %+v", twice, once)
+	}
+}
+
+func TestTuneConfigFillsCollectives(t *testing.T) {
+	d := datasets.ProductsLike(datasets.Tiny)
+	cfg, err := TuneConfig(DefaultMemoryModel(), d,
+		pipeline.Config{P: 16, C: 2, K: pipeline.KAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Collectives.AllReduce != cluster.Hierarchical {
+		t.Fatalf("multi-node run tuned to %v", cfg.Collectives.AllReduce)
+	}
+	// Explicit ring survives tuning; the HierAllReduce sugar counts as
+	// an explicit selection and is not overridden.
+	cfg, err = TuneConfig(DefaultMemoryModel(), d,
+		pipeline.Config{P: 16, C: 2, K: pipeline.KAll,
+			Collectives: cluster.Collectives{AllReduce: cluster.Ring}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Collectives.AllReduce != cluster.Ring {
+		t.Fatalf("explicit ring overridden to %v", cfg.Collectives.AllReduce)
+	}
+	cfg, err = TuneConfig(DefaultMemoryModel(), d,
+		pipeline.Config{P: 16, C: 2, K: pipeline.KAll, HierAllReduce: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Collectives.AllReduce != cluster.DefaultAlgorithm {
+		t.Fatalf("HierAllReduce sugar config retuned to %v", cfg.Collectives.AllReduce)
+	}
+	// A selection pinned directly on the model (the other place the
+	// pipeline reads it from) is explicit too: the tuner must not fill
+	// Config.Collectives with a choice that would out-merge it.
+	model := cluster.Perlmutter()
+	model.Collectives.AllReduce = cluster.Ring
+	cfg, err = TuneConfig(DefaultMemoryModel(), d,
+		pipeline.Config{P: 16, C: 2, K: pipeline.KAll, Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.Model.Collectives.Merge(cfg.Collectives); got.AllReduce != cluster.Ring {
+		t.Fatalf("model-level explicit ring out-merged to %v", got.AllReduce)
 	}
 }

@@ -41,6 +41,12 @@ type QuiverConfig struct {
 	MaxBatches int
 	Seed       int64
 	Model      cluster.CostModel
+
+	// Collectives selects the collective schedules the baseline's
+	// cluster charges under (merged into Model.Collectives), so
+	// algorithm comparisons hold the baseline to the same rules as the
+	// paper's pipeline.
+	Collectives cluster.Collectives
 }
 
 // hostFeatureFraction is the share of feature rows served from host
@@ -66,6 +72,10 @@ func RunQuiver(d *datasets.Dataset, cfg QuiverConfig) (*pipeline.Result, error) 
 	}
 	if cfg.Model.GPUsPerNode == 0 {
 		cfg.Model = cluster.Perlmutter()
+	}
+	cfg.Model.Collectives = cfg.Model.Collectives.Merge(cfg.Collectives)
+	if err := cfg.Model.Collectives.Validate(); err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
 	}
 	layers := len(d.Fanouts)
 

@@ -128,3 +128,52 @@ func TestQuiverLossAggregatesAcrossRanksUnevenBatches(t *testing.T) {
 		t.Fatalf("loss signal lost: %v", e.Loss)
 	}
 }
+
+// Golden values captured on the pre-refactor code: the pluggable
+// collective-algorithm layer must keep the default (FlatTree) Quiver
+// baseline bit-identical in simulated time and loss.
+func TestGoldenQuiverBitIdentical(t *testing.T) {
+	d := datasets.SBM(datasets.SBMConfig{
+		N: 512, Classes: 4, Features: 8,
+		IntraDeg: 10, InterDeg: 2, Noise: 0.5,
+		BatchSize: 32, Fanouts: []int{5, 3}, LayerWidth: 32, Seed: 7,
+	})
+	res, err := RunQuiver(d, QuiverConfig{P: 4, Epochs: 2, Seed: 5, MaxBatches: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Cluster.SimTime, 0.00085561327706666656; got != want {
+		t.Errorf("SimTime = %.17g, want %.17g", got, want)
+	}
+	if got, want := res.LastEpoch().Total, 0.00064173826279999985; got != want {
+		t.Errorf("Total = %.17g, want %.17g", got, want)
+	}
+	if got, want := res.LastEpoch().Loss, 0.2484752598843977; got != want {
+		t.Errorf("Loss = %.17g, want %.17g", got, want)
+	}
+}
+
+// The baseline threads algorithm selection like the pipeline: a ring
+// gradient all-reduce changes the schedule, never the training values.
+func TestQuiverCollectivesSelection(t *testing.T) {
+	d := datasets.ProductsLike(datasets.Tiny)
+	flat, err := RunQuiver(d, QuiverConfig{P: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := RunQuiver(d, QuiverConfig{P: 4, Seed: 3,
+		Collectives: cluster.Collectives{AllReduce: cluster.Ring}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.LastEpoch().Loss != ring.LastEpoch().Loss {
+		t.Fatal("ring selection changed training values")
+	}
+	if flat.Cluster.SimTime == ring.Cluster.SimTime {
+		t.Fatal("ring selection did not change the schedule")
+	}
+	if _, err := RunQuiver(d, QuiverConfig{P: 4, Seed: 3,
+		Collectives: cluster.Collectives{AllReduce: cluster.Pairwise}}); err == nil {
+		t.Fatal("invalid table accepted")
+	}
+}

@@ -375,3 +375,73 @@ func TestStragglerSensitivityMonotone(t *testing.T) {
 		}
 	}
 }
+
+func TestCollectiveSweepMatchesAnalyticBounds(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := CollectiveSweep(&buf, tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 GPU counts x 2 sizes x 9 (op, algorithm) cells.
+	if len(rows) != 36 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	find := func(op, alg string, p, bytes int) CollectiveRow {
+		for _, r := range rows {
+			if r.Op == op && r.Algorithm == alg && r.P == p && r.Bytes == bytes {
+				return r
+			}
+		}
+		t.Fatalf("row %s/%s p=%d bytes=%d missing", op, alg, p, bytes)
+		return CollectiveRow{}
+	}
+	for _, r := range rows {
+		if r.Measured <= 0 || r.Predicted <= 0 {
+			t.Fatalf("non-positive cell: %+v", r)
+		}
+		if r.Ratio < 0.99 || r.Ratio > 1.01 {
+			t.Fatalf("measured diverges from analytic bound: %+v", r)
+		}
+	}
+	const big, small = 4 << 20, 4 << 10
+	// Ring beats the flat tree at large messages (pipelined broadcast).
+	if ring, flat := find("broadcast", "ring", 8, big), find("broadcast", "flat", 8, big); ring.Measured >= flat.Measured {
+		t.Fatalf("ring broadcast (%v) not faster than flat (%v) at %d bytes", ring.Measured, flat.Measured, big)
+	}
+	// ...and loses at small ones (p-1 pipeline-fill latencies).
+	if ring, flat := find("broadcast", "ring", 8, small), find("broadcast", "flat", 8, small); ring.Measured <= flat.Measured {
+		t.Fatalf("ring broadcast (%v) not slower than flat (%v) at %d bytes", ring.Measured, flat.Measured, small)
+	}
+	// Pairwise wins the latency-bound all-to-allv.
+	if pw, flat := find("alltoallv", "pairwise", 8, small), find("alltoallv", "flat", 8, small); pw.Measured >= flat.Measured {
+		t.Fatalf("pairwise all-to-allv (%v) not faster than flat (%v)", pw.Measured, flat.Measured)
+	}
+	// The hierarchical all-reduce keeps inter-node traffic proportional
+	// to node count: 2 leaders instead of 8 ranks at p=8.
+	hier, flat := find("allreduce", "hier", 8, big), find("allreduce", "flat", 8, big)
+	if hier.Links.InterNode >= flat.Links.InterNode {
+		t.Fatalf("hier inter-node bytes (%d) not below flat (%d)", hier.Links.InterNode, flat.Links.InterNode)
+	}
+	if hier.Links.IntraNode == 0 || flat.Links.IntraNode != 0 {
+		t.Fatalf("per-link attribution wrong: hier %+v flat %+v", hier.Links, flat.Links)
+	}
+}
+
+func TestTprobPerAlgorithmRows(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Tprob(&buf, "products", 4, []int{1, 2}, Options{Profile: datasets.Tiny, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	algs := map[string]int{}
+	for _, r := range rows {
+		algs[r.Algorithm]++
+		if r.Measured <= 0 || r.Predicted <= 0 {
+			t.Fatalf("non-positive entries: %+v", r)
+		}
+	}
+	// c=1 degenerates every schedule to flat, so the ring sweep skips it.
+	if algs["flat"] != 2 || algs["ring"] != 1 {
+		t.Fatalf("algorithm coverage: %v", algs)
+	}
+}

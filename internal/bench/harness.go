@@ -36,6 +36,12 @@ type Options struct {
 	// partitioned) unconditionally. Off reproduces the paper's
 	// schedule.
 	Overlap bool
+
+	// Collectives selects the collective schedules every experiment's
+	// simulated clusters charge under (merged into Model.Collectives;
+	// the CollectiveSweep experiment overrides it per row). The zero
+	// value keeps the paper's FlatTree forms.
+	Collectives cluster.Collectives
 }
 
 func (o Options) withDefaults() Options {
@@ -45,6 +51,7 @@ func (o Options) withDefaults() Options {
 	if o.Model.GPUsPerNode == 0 {
 		o.Model = cluster.Perlmutter()
 	}
+	o.Model.Collectives = o.Model.Collectives.Merge(o.Collectives)
 	if o.Seed == 0 {
 		o.Seed = 20240101
 	}

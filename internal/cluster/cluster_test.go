@@ -591,10 +591,11 @@ func TestStragglerSlowsBSPMakespan(t *testing.T) {
 
 func TestAllReduceSumHierMatchesFlat(t *testing.T) {
 	cl := New(8, testModel()) // 2 nodes of 4
+	cl.Model.Collectives.AllReduce = Hierarchical
 	world := cl.World()
 	_, err := cl.Run(func(r *Rank) error {
 		x := []float64{float64(r.ID), 1, float64(r.ID * r.ID)}
-		got := AllReduceSumHier(world, r, x)
+		got := AllReduceSum(world, r, x)
 		want := []float64{28, 8, 140}
 		for i := range want {
 			if math.Abs(got[i]-want[i]) > 1e-12 {
@@ -610,9 +611,10 @@ func TestAllReduceSumHierMatchesFlat(t *testing.T) {
 
 func TestAllReduceSumHierSingleNodeFallback(t *testing.T) {
 	cl := New(4, testModel()) // one node
+	cl.Model.Collectives.AllReduce = Hierarchical
 	world := cl.World()
 	_, err := cl.Run(func(r *Rank) error {
-		got := AllReduceSumHier(world, r, []float64{1})
+		got := AllReduceSum(world, r, []float64{1})
 		if got[0] != 4 {
 			return fmt.Errorf("got %v", got[0])
 		}
@@ -629,15 +631,14 @@ func TestAllReduceSumHierCheaperAcrossNodes(t *testing.T) {
 	// slow tier carries node-count messages, not rank-count).
 	measure := func(hier bool) float64 {
 		cl := New(16, testModel()) // 4 nodes
+		if hier {
+			cl.Model.Collectives.AllReduce = Hierarchical
+		}
 		world := cl.World()
 		res, err := cl.Run(func(r *Rank) error {
 			x := make([]float64, 1<<16)
 			for i := 0; i < 3; i++ {
-				if hier {
-					AllReduceSumHier(world, r, x)
-				} else {
-					AllReduceSum(world, r, x)
-				}
+				AllReduceSum(world, r, x)
 			}
 			return nil
 		})
@@ -656,10 +657,11 @@ func TestAllReduceSumHierCheaperAcrossNodes(t *testing.T) {
 
 func TestAllReduceSumHierRepeated(t *testing.T) {
 	cl := New(8, testModel())
+	cl.Model.Collectives.AllReduce = Hierarchical
 	world := cl.World()
 	_, err := cl.Run(func(r *Rank) error {
 		for i := 0; i < 50; i++ {
-			got := AllReduceSumHier(world, r, []float64{float64(i)})
+			got := AllReduceSum(world, r, []float64{float64(i)})
 			if got[0] != float64(8*i) {
 				return fmt.Errorf("iter %d: %v", i, got[0])
 			}

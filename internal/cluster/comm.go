@@ -13,6 +13,12 @@ import (
 // by at most one stream of each member rank (enforced; see ForStream
 // for the NCCL-style duplication that lets concurrent streams issue
 // collectives safely).
+//
+// Every collective routes its time and traffic through the single
+// charging path (chargeCollective), parameterized by the cost model's
+// per-op algorithm table (CostModel.Collectives): FlatTree reproduces
+// the paper's closed forms, Ring and Pairwise trade latency against
+// bandwidth, and Hierarchical runs the two-level sum all-reduce.
 type Comm struct {
 	cl      *Cluster
 	members []int       // global rank ids, ascending
@@ -34,7 +40,7 @@ type Comm struct {
 	driverMu sync.Mutex
 	drivers  map[int]string
 
-	// lazily built sub-communicators for AllReduceSumHier.
+	// lazily built sub-communicators for the hierarchical all-reduce.
 	hierOnce    sync.Once
 	hierIntra   map[int]*Comm
 	hierLeaders *Comm
@@ -171,6 +177,10 @@ func (c *Comm) LocalIndex(r *Rank) int {
 
 // Members returns the member rank ids (ascending). Do not modify.
 func (c *Comm) Members() []int { return c.members }
+
+// Tier returns the interconnect tier this communicator's collectives
+// charge at (the worst link among its member pairs).
+func (c *Comm) Tier() Link { return c.link }
 
 // slot is the per-member contribution to a collective exchange.
 type slot struct {
@@ -344,15 +354,24 @@ func (c *Comm) finish(r *Rank, doneAt float64) {
 // Barrier synchronizes all members; cost α·⌈log2 n⌉ at the worst tier.
 func Barrier(c *Comm, r *Rank) {
 	slots := c.exchange(r, "barrier", slot{clock: r.clock})
-	cost := c.cl.Model.Alpha[c.link] * log2Ceil(c.Size())
-	c.finish(r, maxClock(slots)+cost)
+	c.chargeCollective(r, "barrier", maxClock(slots), barrierCost(c))
 }
 
 // Broadcast sends root's value to every member. bytes is the payload
-// size for cost accounting; cost (α + β·bytes)·⌈log2 n⌉ models a
-// binomial tree. The value is shared, not copied: receivers must treat
-// it as read-only.
+// size for cost accounting; FlatTree charges the binomial tree
+// (α + β·bytes)·⌈log2 n⌉, Ring the pipelined (n−1)·α + β·bytes. The
+// value is shared, not copied: receivers must treat it as read-only.
 func Broadcast[T any](c *Comm, r *Rank, root int, val T, bytes int) T {
+	return broadcastAlg(c, r, root, val, bytes, c.allReduceAlg())
+}
+
+// broadcastAlg is Broadcast pinned to an algorithm; the hierarchical
+// all-reduce uses it to keep its intra-node stages on the flat tree
+// regardless of the table (Hierarchical itself maps to FlatTree here).
+func broadcastAlg[T any](c *Comm, r *Rank, root int, val T, bytes int, alg CollectiveAlgorithm) T {
+	if alg != Ring {
+		alg = FlatTree
+	}
 	me := c.LocalIndex(r)
 	s := slot{clock: r.clock}
 	if me == root {
@@ -361,27 +380,21 @@ func Broadcast[T any](c *Comm, r *Rank, root int, val T, bytes int) T {
 	}
 	slots := c.exchange(r, "broadcast", s)
 	rs := slots[root]
-	cost := (c.cl.Model.Alpha[c.link] + float64(rs.bytes)*c.cl.Model.Beta[c.link]) * log2Ceil(c.Size())
-	if me == root {
-		// A tree broadcast moves (n-1) copies across links in total;
-		// book the full volume at the root for traffic accounting.
-		r.countOp("broadcast", int64(rs.bytes)*int64(c.Size()-1))
-	}
-	c.finish(r, maxClock(slots)+cost)
+	c.chargeCollective(r, "broadcast", maxClock(slots), broadcastCost(c, alg, rs.bytes, me == root))
 	return rs.val.(T)
 }
 
 // AllGather collects every member's value; the result is indexed by
-// local member index. Cost α·⌈log2 n⌉ + β·(total bytes).
+// local member index. FlatTree charges recursive doubling
+// α·⌈log2 n⌉ + β·(total bytes); Ring charges (n−1)·α with the same β
+// term.
 func AllGather[T any](c *Comm, r *Rank, val T, bytes int) []T {
 	slots := c.exchange(r, "allgather", slot{clock: r.clock, val: val, bytes: bytes})
 	total := 0
 	for _, s := range slots {
 		total += s.bytes
 	}
-	cost := c.cl.Model.Alpha[c.link]*log2Ceil(c.Size()) + float64(total-bytes)*c.cl.Model.Beta[c.link]
-	r.countOp("allgather", int64(bytes)*int64(c.Size()-1))
-	c.finish(r, maxClock(slots)+cost)
+	c.chargeCollective(r, "allgather", maxClock(slots), allGatherCost(c, c.allReduceAlg(), total, bytes))
 	out := make([]T, len(slots))
 	for i, s := range slots {
 		out[i] = s.val.(T)
@@ -403,17 +416,14 @@ func Gather[T any](c *Comm, r *Rank, root int, val T, bytes int) []T {
 				total += s.bytes
 			}
 		}
-		cost := c.cl.Model.Alpha[c.link]*log2Ceil(c.Size()) + float64(total)*c.cl.Model.Beta[c.link]
-		c.finish(r, entry+cost)
+		c.chargeCollective(r, "gather", entry, gatherCost(c, total, bytes, true))
 		out := make([]T, len(slots))
 		for i, s := range slots {
 			out[i] = s.val.(T)
 		}
 		return out
 	}
-	r.countOp("gather", int64(bytes))
-	cost := c.cl.Model.Alpha[c.link] + float64(bytes)*c.cl.Model.Beta[c.link]
-	c.finish(r, entry+cost)
+	c.chargeCollective(r, "gather", entry, gatherCost(c, 0, bytes, false))
 	return nil
 }
 
@@ -435,7 +445,6 @@ func Scatter[T any](c *Comm, r *Rank, root int, parts []T, bytes func(T) int) T 
 	entry := maxClock(slots)
 	rootParts := slots[root].val.([]T)
 	mine := rootParts[me]
-	alpha, beta := c.cl.Model.Alpha[c.link], c.cl.Model.Beta[c.link]
 	if me == root {
 		total := 0
 		for i, p := range rootParts {
@@ -443,19 +452,18 @@ func Scatter[T any](c *Comm, r *Rank, root int, parts []T, bytes func(T) int) T 
 				total += bytes(p)
 			}
 		}
-		r.countOp("scatter", int64(total))
-		c.finish(r, entry+float64(c.Size()-1)*alpha+float64(total)*beta)
+		c.chargeCollective(r, "scatter", entry, scatterCost(c, total, 0, true))
 	} else {
-		c.finish(r, entry+alpha+float64(bytes(mine))*beta)
+		c.chargeCollective(r, "scatter", entry, scatterCost(c, 0, bytes(mine), false))
 	}
 	return mine
 }
 
 // AllToAllv exchanges parts[i] from each member to member i; the result
-// holds the parts addressed to the caller, indexed by sender. Each
-// member's cost is (n-1)·α + β·max(bytes sent, bytes received),
-// excluding the self part. This is the feature-fetching primitive of
-// Section 6.2.
+// holds the parts addressed to the caller, indexed by sender. FlatTree
+// charges the linear exchange (n−1)·α + β·max(bytes sent, bytes
+// received); Pairwise charges the Bruck log-round schedule. Excludes
+// the self part. This is the feature-fetching primitive of Section 6.2.
 func AllToAllv[T any](c *Comm, r *Rank, parts []T, bytes func(T) int) []T {
 	me := c.LocalIndex(r)
 	if len(parts) != c.Size() {
@@ -478,24 +486,31 @@ func AllToAllv[T any](c *Comm, r *Rank, parts []T, bytes func(T) int) []T {
 			recvd += bytes(p)
 		}
 	}
-	vol := sent
-	if recvd > vol {
-		vol = recvd
-	}
-	alpha, beta := c.cl.Model.Alpha[c.link], c.cl.Model.Beta[c.link]
-	r.countOp("alltoallv", int64(sent))
-	c.finish(r, entry+float64(c.Size()-1)*alpha+float64(vol)*beta)
+	c.chargeCollective(r, "alltoallv", entry, allToAllvCost(c, c.allToAllAlg(), sent, recvd))
 	return out
 }
 
 // AllReduceSum sums float64 slices elementwise across members; every
-// member receives the total. Cost α·⌈log2 n⌉ + β·bytes, matching the
-// paper's T_allreduce model, plus a memory-rate charge for the local
-// reduction.
+// member receives the total. FlatTree charges the paper's T_allreduce
+// model α·⌈log2 n⌉ + β·bytes, Ring the reduce-scatter + all-gather
+// schedule, and Hierarchical the two-level intra-node / leaders
+// composition; every schedule also charges the local-reduction memory
+// traffic per the shared charging-path convention.
 func AllReduceSum(c *Comm, r *Rank, x []float64) []float64 {
+	alg := c.allReduceAlg()
+	if alg == Hierarchical {
+		return allReduceSumHier(c, r, x)
+	}
+	return allReduceSumAlg(c, r, x, alg)
+}
+
+// allReduceSumAlg runs the rendezvous and fold shared by the flat and
+// ring schedules; only the charged cost differs.
+func allReduceSumAlg(c *Comm, r *Rank, x []float64, alg CollectiveAlgorithm) []float64 {
 	slots := c.exchange(r, "allreduce", slot{clock: r.clock, val: x, bytes: 8 * len(x)})
 	entry := maxClock(slots)
 	out := make([]float64, len(x))
+	maxBytes := 0
 	for _, s := range slots {
 		v := s.val.([]float64)
 		if len(v) != len(x) {
@@ -504,20 +519,28 @@ func AllReduceSum(c *Comm, r *Rank, x []float64) []float64 {
 		for i, f := range v {
 			out[i] += f
 		}
+		if s.bytes > maxBytes {
+			maxBytes = s.bytes
+		}
 	}
-	bytes := 8 * len(x)
-	cost := c.cl.Model.Alpha[c.link]*log2Ceil(c.Size()) + float64(bytes)*c.cl.Model.Beta[c.link]
-	r.countOp("allreduce", int64(bytes))
-	c.finish(r, entry+cost)
-	r.ChargeMem(int64(bytes) * int64(c.Size()))
+	c.chargeCollective(r, "allreduce", entry, allReduceCost(c, alg, maxBytes, 8*len(x)))
 	return out
 }
 
 // AllReduceGeneric folds arbitrary values with a user combiner; every
 // member receives combine applied over all members' values in member
-// order. bytes sizes the caller's contribution. Used for sparse-matrix
-// all-reduce in the 1.5D SpGEMM.
+// order. bytes sizes the caller's contribution; per the shared
+// charging-path convention the β term and the local-reduction memory
+// traffic both cost on the maximum contribution across members. The
+// fold always runs flat (member order — the combiner need not be
+// commutative), so a Hierarchical selection charges the flat schedule;
+// Ring charges the ring schedule. Used for sparse-matrix all-reduce in
+// the 1.5D SpGEMM.
 func AllReduceGeneric[T any](c *Comm, r *Rank, val T, bytes int, combine func(a, b T) T) T {
+	alg := c.allReduceAlg()
+	if alg != Ring {
+		alg = FlatTree
+	}
 	slots := c.exchange(r, "allreduce-generic", slot{clock: r.clock, val: val, bytes: bytes})
 	entry := maxClock(slots)
 	acc := slots[0].val.(T)
@@ -530,20 +553,20 @@ func AllReduceGeneric[T any](c *Comm, r *Rank, val T, bytes int, combine func(a,
 			maxBytes = s.bytes
 		}
 	}
-	cost := c.cl.Model.Alpha[c.link]*log2Ceil(c.Size()) + float64(maxBytes)*c.cl.Model.Beta[c.link]
-	r.countOp("allreduce-generic", int64(bytes))
-	c.finish(r, entry+cost)
+	c.chargeCollective(r, "allreduce-generic", entry, allReduceCost(c, alg, maxBytes, bytes))
 	return acc
 }
 
-// AllReduceSumHier is a hierarchical (two-level) sum all-reduce over a
-// communicator that spans nodes: members reduce within their node at
-// the NVLink tier, node leaders all-reduce across the network, then
-// leaders broadcast back within the node — the NCCL-style algorithm
-// that keeps the slow tier's traffic proportional to the node count
-// rather than the rank count. Falls back to the flat algorithm when
-// the communicator sits on one node.
-func AllReduceSumHier(c *Comm, r *Rank, x []float64) []float64 {
+// allReduceSumHier is the hierarchical (two-level) sum all-reduce,
+// selected by CostModel.Collectives.AllReduce = Hierarchical: members
+// reduce within their node at the NVLink tier, node leaders all-reduce
+// across the network, then leaders broadcast back within the node —
+// the NCCL-style algorithm that keeps the slow tier's traffic
+// proportional to the node count rather than the rank count (visible
+// in the per-link byte counters). Falls back to the flat schedule when
+// the communicator sits on one node. The inner stages are pinned to
+// FlatTree so the composition is exactly the paper's.
+func allReduceSumHier(c *Comm, r *Rank, x []float64) []float64 {
 	model := c.cl.Model
 	// Group members by node.
 	nodeOf := map[int]int{}
@@ -554,7 +577,7 @@ func AllReduceSumHier(c *Comm, r *Rank, x []float64) []float64 {
 		nodes[n] = append(nodes[n], m)
 	}
 	if len(nodes) <= 1 {
-		return AllReduceSum(c, r, x)
+		return allReduceSumAlg(c, r, x, FlatTree)
 	}
 
 	// The collective structure must be identical on every member, so
@@ -565,13 +588,13 @@ func AllReduceSumHier(c *Comm, r *Rank, x []float64) []float64 {
 	intra, leaders := c.hierComms()
 
 	myNodeComm := intra[nodeOf[r.ID]]
-	partial := AllReduceSum(myNodeComm, r, x)
+	partial := allReduceSumAlg(myNodeComm, r, x, FlatTree)
 
 	// Node leaders (smallest rank per node) reduce across nodes.
 	leader := myNodeComm.members[0]
 	var total []float64
 	if r.ID == leader {
-		total = AllReduceSum(leaders, r, partial)
+		total = allReduceSumAlg(leaders, r, partial, FlatTree)
 	}
 	// Broadcast the result back within each node. The broadcast value
 	// is shared storage owned by the leader, and members copy it after
@@ -579,7 +602,7 @@ func AllReduceSumHier(c *Comm, r *Rank, x []float64) []float64 {
 	// must therefore leave it untouched and return a private copy so
 	// callers may scale the result in place (the flat algorithm also
 	// returns caller-owned storage).
-	total = Broadcast(myNodeComm, r, 0, total, 8*len(x))
+	total = broadcastAlg(myNodeComm, r, 0, total, 8*len(x), FlatTree)
 	return append([]float64(nil), total...)
 }
 

@@ -11,6 +11,8 @@
 // results: who wins, by what factor, and where crossovers fall.
 package cluster
 
+import "fmt"
+
 // Device identifies the processor a charge is billed to.
 type Device int
 
@@ -35,12 +37,33 @@ const (
 	HostLink
 )
 
+// String names the tier for traffic reports.
+func (l Link) String() string {
+	switch l {
+	case IntraNode:
+		return "intra-node"
+	case InterNode:
+		return "inter-node"
+	case HostLink:
+		return "host"
+	}
+	return fmt.Sprintf("link(%d)", int(l))
+}
+
 // CostModel holds the α–β link parameters and device throughputs that
 // convert operation counts and message sizes into simulated seconds.
 //
 // All rates are "effective" (achieved, not peak) figures.
 type CostModel struct {
 	GPUsPerNode int
+
+	// Collectives selects, per operation class, the schedule the
+	// collectives charge under (FlatTree / Ring / Pairwise /
+	// Hierarchical). The zero value keeps every collective on the
+	// paper's FlatTree closed forms. Because the table rides the cost
+	// model, a selection travels everywhere a model does — pipeline
+	// configs, baselines, the bench harness — without extra plumbing.
+	Collectives Collectives
 
 	// Latency (seconds per message) and inverse bandwidth (seconds per
 	// byte) per link tier.

@@ -88,6 +88,7 @@ func Send[T any](c *Cluster, r *Rank, dst, tag int, val T, bytes int) {
 	mb.mu.Unlock()
 
 	r.countOp("send", int64(bytes))
+	r.countLink(link, int64(bytes))
 	if done > r.clock {
 		r.advance(done-r.clock, true)
 	}

@@ -47,9 +47,10 @@ type acct struct {
 	phaseTotal map[string]float64 // phase -> total simulated seconds
 	phaseComm  map[string]float64 // phase -> communication part
 	bytesSent  int64
-	opCount    map[string]int64 // collective name -> invocations
-	opBytes    map[string]int64 // collective name -> bytes sent
-	streams    []*Rank          // forked streams (main rank excluded)
+	opCount    map[string]int64    // collective name -> invocations
+	opBytes    map[string]int64    // collective name -> bytes sent
+	linkBytes  map[string][3]int64 // phase -> wire bytes injected per Link tier
+	streams    []*Rank             // forked streams (main rank excluded)
 }
 
 func newAcct() *acct {
@@ -58,6 +59,7 @@ func newAcct() *acct {
 		phaseComm:  map[string]float64{},
 		opCount:    map[string]int64{},
 		opBytes:    map[string]int64{},
+		linkBytes:  map[string][3]int64{},
 	}
 }
 
@@ -104,6 +106,23 @@ func (r *Rank) countOp(name string, bytes int64) {
 	a.opCount[name]++
 	a.opBytes[name] += bytes
 	a.bytesSent += bytes
+	a.mu.Unlock()
+}
+
+// countLink records wire bytes this rank injected on an interconnect
+// tier, booked under the current (innermost) phase — the per-link,
+// per-phase traffic accounting the charging path, point-to-point sends
+// and ChargeLink all feed.
+func (r *Rank) countLink(l Link, bytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	phase := r.Phase()
+	a := r.acct
+	a.mu.Lock()
+	lb := a.linkBytes[phase]
+	lb[l] += bytes
+	a.linkBytes[phase] = lb
 	a.mu.Unlock()
 }
 
@@ -207,8 +226,10 @@ func (r *Rank) ChargeKernels(n int) {
 }
 
 // ChargeLink bills a point transfer of the given bytes over the given
-// tier, e.g. PCIe traffic for UVA sampling. Counted as communication.
+// tier, e.g. PCIe traffic for UVA sampling. Counted as communication
+// and recorded in the per-link byte counters.
 func (r *Rank) ChargeLink(l Link, bytes int64) {
+	r.countLink(l, bytes)
 	r.advance(r.model.Alpha[l]+float64(bytes)*r.model.Beta[l], true)
 }
 
@@ -223,6 +244,9 @@ type Stats struct {
 	// OpCount and OpBytes break communication down by collective.
 	OpCount map[string]int64
 	OpBytes map[string]int64
+	// LinkBytes breaks the wire traffic this rank injected down by
+	// phase and interconnect tier (indexed by Link).
+	LinkBytes map[string][3]int64
 }
 
 func (r *Rank) stats() Stats {
@@ -246,8 +270,12 @@ func (r *Rank) stats() Stats {
 	for k, v := range a.opBytes {
 		ob[k] = v
 	}
+	lb := make(map[string][3]int64, len(a.linkBytes))
+	for k, v := range a.linkBytes {
+		lb[k] = v
+	}
 	return Stats{Clock: clock, PhaseTotal: pt, PhaseComm: pc, BytesSent: a.bytesSent,
-		OpCount: oc, OpBytes: ob}
+		OpCount: oc, OpBytes: ob, LinkBytes: lb}
 }
 
 // Result summarizes a simulated run.
@@ -280,6 +308,34 @@ func (res *Result) PhaseComm(name string) float64 {
 		}
 	}
 	return max
+}
+
+// LinkTraffic sums the wire bytes injected per interconnect tier
+// across all ranks and phases: total traffic, not a per-rank maximum,
+// because link bytes add up on the fabric.
+func (res *Result) LinkTraffic() [3]int64 {
+	var out [3]int64
+	for _, s := range res.Ranks {
+		for _, lb := range s.LinkBytes {
+			for l, v := range lb {
+				out[l] += v
+			}
+		}
+	}
+	return out
+}
+
+// PhaseLinkTraffic sums the per-tier wire bytes booked under the named
+// phase across all ranks.
+func (res *Result) PhaseLinkTraffic(phase string) [3]int64 {
+	var out [3]int64
+	for _, s := range res.Ranks {
+		lb := s.LinkBytes[phase]
+		for l, v := range lb {
+			out[l] += v
+		}
+	}
+	return out
 }
 
 // Phases returns the sorted names of all phases observed.

@@ -102,7 +102,11 @@ func payloadBytes(p *rowPayload) int {
 // the staged block algorithm of Algorithm 2 on the process grid. Q's
 // columns span the full vertex range [0, N). The result is the full
 // product for this rank's rows, identical on all c replicas of the
-// process row after the final all-reduce.
+// process row after the final all-reduce. The collective schedules —
+// the per-stage gathers/scatters and the row all-reduce — charge under
+// the cost model's Collectives table (cluster.CollectiveAlgorithm), so
+// algorithm comparisons reach the 1.5D sampling path without any
+// plumbing here.
 func (ps *Partitioned) SpGEMM15D(r *cluster.Rank, q *sparse.CSR) *sparse.CSR {
 	g := ps.Grid
 	j := g.ColIndex(r.ID)

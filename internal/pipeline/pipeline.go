@@ -45,9 +45,16 @@ type Config struct {
 	Algorithm     Algorithm
 	SparsityAware bool // Algorithm 2 row fetching (vs oblivious broadcast)
 
-	// HierAllReduce uses the two-level (intra-node, then leaders)
-	// gradient all-reduce instead of the flat tree — the NCCL-style
-	// algorithm that keeps network traffic proportional to node count.
+	// Collectives selects, per operation class, the collective
+	// schedule the simulated cluster charges under (merged into
+	// Model.Collectives; explicit Model entries win only when this is
+	// unset). The zero value keeps the paper's FlatTree forms.
+	Collectives cluster.Collectives
+
+	// HierAllReduce is sugar for Collectives.AllReduce =
+	// cluster.Hierarchical: the two-level (intra-node, then leaders)
+	// gradient all-reduce that keeps network traffic proportional to
+	// node count. An explicit Collectives.AllReduce selection wins.
 	HierAllReduce bool
 
 	// Overlap runs the staged-execution engine in its software-
@@ -122,6 +129,10 @@ func (c Config) withDefaults(d *datasets.Dataset) Config {
 	if c.Model.GPUsPerNode == 0 {
 		c.Model = cluster.Perlmutter()
 	}
+	if c.HierAllReduce && c.Collectives.AllReduce == cluster.DefaultAlgorithm {
+		c.Collectives.AllReduce = cluster.Hierarchical
+	}
+	c.Model.Collectives = c.Model.Collectives.Merge(c.Collectives)
 	return c
 }
 
@@ -279,6 +290,9 @@ func Run(d *datasets.Dataset, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults(d)
 	if cfg.P%cfg.C != 0 {
 		return nil, fmt.Errorf("pipeline: c=%d must divide p=%d", cfg.C, cfg.P)
+	}
+	if err := cfg.Model.Collectives.Validate(); err != nil {
+		return nil, fmt.Errorf("pipeline: %w", err)
 	}
 	cl := cluster.New(cfg.P, cfg.Model)
 	grid := cluster.NewGrid(cl, cfg.P, cfg.C)
@@ -475,12 +489,10 @@ func Run(d *datasets.Dataset, cfg Config) (*Result, error) {
 								lossN++
 							}
 
-							var sum []float64
-							if cfg.HierAllReduce {
-								sum = cluster.AllReduceSumHier(world, rm, grads)
-							} else {
-								sum = cluster.AllReduceSum(world, rm, grads)
-							}
+							// The gradient all-reduce schedule (flat /
+							// ring / hierarchical) is dispatched by the
+							// model's Collectives table.
+							sum := cluster.AllReduceSum(world, rm, grads)
 							inv := 1.0 / float64(cfg.P)
 							for i := range sum {
 								sum[i] *= inv

@@ -787,3 +787,122 @@ func TestHierAllReduceSameTraining(t *testing.T) {
 		t.Fatalf("accuracy diverges between all-reduce algorithms: %.3f vs %.3f", fa, ha)
 	}
 }
+
+// Golden values captured on the pre-refactor code (inline α–β formulas,
+// AllReduceSumHier as a special-case function) at these exact configs.
+// The pluggable collective-algorithm layer must keep default (FlatTree)
+// runs — and the Hierarchical selection that replaced AllReduceSumHier —
+// bit-identical in simulated time and loss. The partitioned golden was
+// captured with the AllReduceGeneric local-reduction memory charge
+// applied to the old code, since that satellite fix deliberately adds
+// the (documented) ChargeMem term the old generic all-reduce lacked.
+func TestGoldenFlatTreeBitIdentical(t *testing.T) {
+	d := tinySBM()
+	check := func(name string, cfg Config, wantSim, wantTotal, wantLoss float64) {
+		t.Helper()
+		res, err := Run(d, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		e := res.LastEpoch()
+		if res.Cluster.SimTime != wantSim {
+			t.Errorf("%s: SimTime = %.17g, want %.17g", name, res.Cluster.SimTime, wantSim)
+		}
+		if e.Total != wantTotal {
+			t.Errorf("%s: Total = %.17g, want %.17g", name, e.Total, wantTotal)
+		}
+		if e.Loss != wantLoss {
+			t.Errorf("%s: Loss = %.17g, want %.17g", name, e.Loss, wantLoss)
+		}
+	}
+	check("replicated", Config{P: 8, C: 2, Epochs: 2, Seed: 5, MaxBatches: 8},
+		0.00055022244746666686, 0.00055033819413333347, 0.65450965782981307)
+	check("partitioned", Config{P: 8, C: 2, Epochs: 2, Seed: 5, MaxBatches: 8,
+		Algorithm: GraphPartitioned, SparsityAware: true},
+		0.001098003337466667, 0.00085527868810000049, 0.66800119073290198)
+	check("hier", Config{P: 8, C: 2, Epochs: 2, Seed: 5, MaxBatches: 8, HierAllReduce: true},
+		0.00054651823413333334, 0.00054663398079999996, 0.65450965782981296)
+}
+
+// The ring and pairwise schedules change only *when* work is charged,
+// never what is computed: training losses must be bit-identical to the
+// flat default, while the simulated time moves with the schedule.
+func TestRingAndPairwiseSelectionSameValues(t *testing.T) {
+	d := tinySBM()
+	base := Config{P: 8, C: 2, Epochs: 2, Seed: 5, MaxBatches: 8}
+	flat, err := Run(d, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alt := base
+	alt.Collectives = cluster.Collectives{AllReduce: cluster.Ring, AllToAll: cluster.Pairwise}
+	ring, err := Run(d, alt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := range flat.Epochs {
+		if flat.Epochs[e].Loss != ring.Epochs[e].Loss {
+			t.Fatalf("epoch %d loss diverged: %v vs %v", e, flat.Epochs[e].Loss, ring.Epochs[e].Loss)
+		}
+	}
+	for i, p := range flat.Params {
+		if ring.Params[i] != p {
+			t.Fatalf("param %d diverged under ring/pairwise selection", i)
+		}
+	}
+	if flat.Cluster.SimTime == ring.Cluster.SimTime {
+		t.Fatal("ring/pairwise selection did not change the simulated schedule")
+	}
+}
+
+// TestRunRejectsInvalidCollectives pins the validation path.
+func TestRunRejectsInvalidCollectives(t *testing.T) {
+	d := tinySBM()
+	_, err := Run(d, Config{P: 4, C: 1, Epochs: 1, Seed: 1,
+		Collectives: cluster.Collectives{AllToAll: cluster.Ring}})
+	if err == nil {
+		t.Fatal("ring all-to-allv accepted")
+	}
+	_, err = Run(d, Config{P: 4, C: 1, Epochs: 1, Seed: 1,
+		Collectives: cluster.Collectives{AllReduce: cluster.Pairwise}})
+	if err == nil {
+		t.Fatal("pairwise all-reduce accepted")
+	}
+}
+
+// Overlap determinism must hold per collective algorithm: the
+// software-pipelined schedule trains bit-identically to sequential and
+// books a reproducible makespan under ring and hierarchical selections
+// too, not just the flat default.
+func TestOverlapDeterministicPerAlgorithm(t *testing.T) {
+	d := tinySBM()
+	for _, tbl := range []cluster.Collectives{
+		{AllReduce: cluster.Ring, AllToAll: cluster.Pairwise},
+		{AllReduce: cluster.Hierarchical},
+	} {
+		base := Config{P: 8, C: 2, Epochs: 2, Seed: 9, MaxBatches: 8, Collectives: tbl}
+		seq, err := Run(d, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		over := base
+		over.Overlap = true
+		o1, err := Run(d, over)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o2, err := Run(d, over)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for e := range seq.Epochs {
+			if seq.Epochs[e].Loss != o1.Epochs[e].Loss {
+				t.Fatalf("%v: overlap changed epoch %d loss", tbl, e)
+			}
+		}
+		if o1.Cluster.SimTime != o2.Cluster.SimTime {
+			t.Fatalf("%v: overlapped SimTime not deterministic: %.17g vs %.17g",
+				tbl, o1.Cluster.SimTime, o2.Cluster.SimTime)
+		}
+	}
+}

@@ -12,6 +12,18 @@ import (
 	"sync"
 )
 
+// LinkBytes is the stable serialization of the cluster's per-
+// interconnect-tier traffic counters; experiment rows embed it so
+// archived reports can be diffed on wire traffic, not just time.
+type LinkBytes struct {
+	IntraNode int64 `json:"intra_node"`
+	InterNode int64 `json:"inter_node"`
+	Host      int64 `json:"host"`
+}
+
+// Total sums the tiers.
+func (lb LinkBytes) Total() int64 { return lb.IntraNode + lb.InterNode + lb.Host }
+
 // Report accumulates experiment results. Safe for concurrent Add.
 type Report struct {
 	mu      sync.Mutex

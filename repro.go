@@ -69,6 +69,12 @@ type (
 	// CostModel holds the α–β link and device-throughput parameters of
 	// the simulated cluster.
 	CostModel = cluster.CostModel
+	// CollectiveAlgorithm selects the schedule a simulated collective
+	// charges under (FlatTree, Ring, Pairwise, Hierarchical).
+	CollectiveAlgorithm = cluster.CollectiveAlgorithm
+	// Collectives is the per-operation algorithm table carried by the
+	// cost model (TrainConfig.Collectives, QuiverConfig.Collectives).
+	Collectives = cluster.Collectives
 	// TrainConfig drives a simulated distributed training run.
 	TrainConfig = pipeline.Config
 	// TrainResult is the outcome of a training run, including the
@@ -98,6 +104,23 @@ const (
 	// the sparsity-aware SpGEMM of Algorithm 2 (Section 5.2).
 	GraphPartitioned = pipeline.GraphPartitioned
 )
+
+// Collective algorithm selectors for Collectives tables. DefaultAlgorithm
+// (the zero value) keeps the paper's FlatTree forms and lets AutoTune
+// choose; explicit selections are pinned.
+const (
+	DefaultAlgorithm = cluster.DefaultAlgorithm
+	FlatTree         = cluster.FlatTree
+	Ring             = cluster.Ring
+	Pairwise         = cluster.Pairwise
+	Hierarchical     = cluster.Hierarchical
+)
+
+// ParseCollectives builds a validated algorithm table from the CLI
+// flag spellings ("flat", "ring", "pairwise", "hier", ...).
+func ParseCollectives(allreduce, alltoall string) (Collectives, error) {
+	return cluster.ParseCollectives(allreduce, alltoall)
+}
 
 // GraphSAGE returns the node-wise GraphSAGE sampler (Section 4.1).
 func GraphSAGE() Sampler { return core.SAGE{} }
@@ -193,6 +216,13 @@ func Figure6(w io.Writer, o ExperimentOptions) ([]bench.Fig6Row, error) { return
 // Partitioned sampling breakdowns).
 func Figure7(w io.Writer, sampler string, o ExperimentOptions) ([]bench.Fig7Row, error) {
 	return bench.Fig7(w, sampler, o)
+}
+
+// CollectiveComparison runs the collectives microbenchmark: every
+// collective algorithm against its analytic bound over GPU count ×
+// message size, with per-link wire-byte counts.
+func CollectiveComparison(w io.Writer, o ExperimentOptions) ([]bench.CollectiveRow, error) {
+	return bench.CollectiveSweep(w, o)
 }
 
 // Table2 prints the system capability matrix.
