@@ -28,10 +28,15 @@ func main() {
 		seed      = flag.Int64("seed", 1, "seed")
 		allreduce = flag.String("allreduce", "default", cluster.AllReduceFlagUsage)
 		alltoall  = flag.String("alltoall", "default", cluster.AllToAllFlagUsage)
+		topology  = flag.String("topology", "ideal", cluster.TopologyFlagUsage)
 	)
 	flag.Parse()
 
 	coll, err := cluster.ParseCollectives(*allreduce, *alltoall)
+	if err != nil {
+		fatal(err)
+	}
+	topo, err := cluster.ParseTopology(*topology)
 	if err != nil {
 		fatal(err)
 	}
@@ -58,7 +63,7 @@ func main() {
 	}
 
 	ours, err := pipeline.Run(d, pipeline.Config{
-		P: *p, C: c, K: k, MaxBatches: *maxB, Seed: *seed, Collectives: coll})
+		P: *p, C: c, K: k, MaxBatches: *maxB, Seed: *seed, Collectives: coll, Topology: topo})
 	if err != nil {
 		fatal(err)
 	}
@@ -66,7 +71,7 @@ func main() {
 
 	over, err := pipeline.Run(d, pipeline.Config{
 		P: *p, C: c, K: maxInt(d.NumBatches()/4, *p), MaxBatches: *maxB, Seed: *seed, Overlap: true,
-		Collectives: coll})
+		Collectives: coll, Topology: topo})
 	if err != nil {
 		fatal(err)
 	}
@@ -75,7 +80,8 @@ func main() {
 	if *p >= 4 && (*p/2)%2 == 0 {
 		part, err := pipeline.Run(d, pipeline.Config{
 			P: *p, C: 2, K: k, MaxBatches: *maxB, Seed: *seed,
-			Algorithm: pipeline.GraphPartitioned, SparsityAware: true, Collectives: coll})
+			Algorithm: pipeline.GraphPartitioned, SparsityAware: true, Collectives: coll,
+			Topology: topo})
 		if err != nil {
 			fatal(err)
 		}
@@ -83,14 +89,14 @@ func main() {
 	}
 
 	quiver, err := baseline.RunQuiver(d, baseline.QuiverConfig{
-		P: *p, MaxBatches: *maxB, Seed: *seed, Collectives: coll})
+		P: *p, MaxBatches: *maxB, Seed: *seed, Collectives: coll, Topology: topo})
 	if err != nil {
 		fatal(err)
 	}
 	row("quiver strategy (GPU)", quiver.LastEpoch())
 
 	uva, err := baseline.RunQuiver(d, baseline.QuiverConfig{
-		P: *p, UVA: true, MaxBatches: *maxB, Seed: *seed, Collectives: coll})
+		P: *p, UVA: true, MaxBatches: *maxB, Seed: *seed, Collectives: coll, Topology: topo})
 	if err != nil {
 		fatal(err)
 	}
@@ -103,6 +109,7 @@ func main() {
 	}
 	model := cluster.Perlmutter()
 	model.Collectives = coll
+	model.Topology = topo
 	cl := cluster.New(*p, model)
 	world := cl.World()
 	oneD := distsample.NewOneDSet(*p, d.Graph.Adj)

@@ -31,10 +31,14 @@ func main() {
 		// flag set to all four binaries.
 		allreduce = flag.String("allreduce", "default", cluster.AllReduceFlagUsage+" (validated only; datagen runs no collectives)")
 		alltoall  = flag.String("alltoall", "default", cluster.AllToAllFlagUsage+" (validated only; datagen runs no collectives)")
+		topology  = flag.String("topology", "ideal", cluster.TopologyFlagUsage+" (validated only; datagen runs no transfers)")
 	)
 	flag.Parse()
 
 	if _, err := cluster.ParseCollectives(*allreduce, *alltoall); err != nil {
+		fatal(err)
+	}
+	if _, err := cluster.ParseTopology(*topology); err != nil {
 		fatal(err)
 	}
 

@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "one of: table2, table3, fig4, fig5, fig6, fig7sage, fig7ladies, acc, tprob, collectives, amortization, cachesweep, sparsity, partition, explosion, variance, overlap, sensitivity, straggler, verify, all")
+		experiment = flag.String("experiment", "all", "one of: table2, table3, fig4, fig5, fig6, fig7sage, fig7ladies, acc, tprob, collectives, contention, amortization, cachesweep, sparsity, partition, explosion, variance, overlap, sensitivity, straggler, verify, all")
 		profile    = flag.String("profile", "small", "dataset size: tiny, small, bench")
 		gpus       = flag.String("gpus", "", "comma-separated GPU counts (default per experiment)")
 		maxBatches = flag.Int("maxbatches", 0, "cap batches per epoch and extrapolate (0 = all)")
@@ -32,6 +32,7 @@ func main() {
 		overlap    = flag.Bool("overlap", false, "run the replicated-pipeline training experiments (fig4, fig6) on the overlapped engine schedule; the overlap experiment always measures sequential vs overlapped for both algorithms")
 		allreduce  = flag.String("allreduce", "default", cluster.AllReduceFlagUsage+" (the collectives and tprob experiments sweep their algorithm sets regardless)")
 		alltoall   = flag.String("alltoall", "default", cluster.AllToAllFlagUsage)
+		topology   = flag.String("topology", "ideal", cluster.TopologyFlagUsage+" (the contention experiment sweeps its topology set regardless)")
 	)
 	flag.Parse()
 
@@ -43,8 +44,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	topo, err := cluster.ParseTopology(*topology)
+	if err != nil {
+		fatal(err)
+	}
 	opts := bench.Options{Profile: prof, MaxBatches: *maxBatches, Seed: *seed, Overlap: *overlap,
-		Collectives: coll}
+		Collectives: coll, Topology: topo}
 	if *gpus != "" {
 		counts, err := parseInts(*gpus)
 		if err != nil {
@@ -59,6 +64,7 @@ func main() {
 		"overlap":    fmt.Sprint(*overlap),
 		"allreduce":  coll.AllReduce.String(),
 		"alltoall":   coll.AllToAll.String(),
+		"topology":   topo.String(),
 	})
 
 	run := func(id string) error {
@@ -103,6 +109,10 @@ func main() {
 			return err
 		case "collectives":
 			rows, err := bench.CollectiveSweep(os.Stdout, opts)
+			report.Add(id, rows)
+			return err
+		case "contention":
+			rows, err := bench.Contention(os.Stdout, opts)
 			report.Add(id, rows)
 			return err
 		case "amortization":
@@ -154,7 +164,7 @@ func main() {
 	ids := []string{*experiment}
 	if *experiment == "all" {
 		ids = []string{"table2", "table3", "fig4", "fig5", "fig6", "fig7sage", "fig7ladies",
-			"acc", "tprob", "collectives", "amortization", "cachesweep", "sparsity", "partition", "explosion", "variance", "overlap", "sensitivity", "straggler", "verify"}
+			"acc", "tprob", "collectives", "contention", "amortization", "cachesweep", "sparsity", "partition", "explosion", "variance", "overlap", "sensitivity", "straggler", "verify"}
 	}
 	for i, id := range ids {
 		if i > 0 {

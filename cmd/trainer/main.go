@@ -38,6 +38,7 @@ func main() {
 		overlap   = flag.Bool("overlap", false, "software-pipeline sampling and feature fetch against propagation (both algorithms; partitioned collectives run on per-stage streams)")
 		allreduce = flag.String("allreduce", "default", cluster.AllReduceFlagUsage+" (with -autotune, default = choose by node span)")
 		alltoall  = flag.String("alltoall", "default", cluster.AllToAllFlagUsage)
+		topology  = flag.String("topology", "ideal", cluster.TopologyFlagUsage)
 		ckptOut   = flag.String("checkpoint", "", "write trained parameters to this file")
 		ckptIn    = flag.String("resume", "", "initialize parameters from this checkpoint")
 		tune      = flag.Bool("autotune", false, "choose c and k automatically by memory model")
@@ -66,6 +67,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	topo, err := cluster.ParseTopology(*topology)
+	if err != nil {
+		fatal(err)
+	}
 	cfg := pipeline.Config{
 		P: *p, C: *c, K: *k,
 		Sampler: *sampler,
@@ -73,6 +78,7 @@ func main() {
 		MaxBatches:  *maxB,
 		Overlap:     *overlap,
 		Collectives: coll,
+		Topology:    topo,
 	}
 	if *algorithm == "partitioned" {
 		cfg.Algorithm = pipeline.GraphPartitioned

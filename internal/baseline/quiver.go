@@ -47,6 +47,12 @@ type QuiverConfig struct {
 	// algorithm comparisons hold the baseline to the same rules as the
 	// paper's pipeline.
 	Collectives cluster.Collectives
+
+	// Topology selects the physical-link topology (set on
+	// Model.Topology), holding the baseline to the same shared-link
+	// contention rules as the paper's pipeline; nil keeps the pure α–β
+	// model.
+	Topology *cluster.Topology
 }
 
 // hostFeatureFraction is the share of feature rows served from host
@@ -75,6 +81,12 @@ func RunQuiver(d *datasets.Dataset, cfg QuiverConfig) (*pipeline.Result, error) 
 	}
 	cfg.Model.Collectives = cfg.Model.Collectives.Merge(cfg.Collectives)
 	if err := cfg.Model.Collectives.Validate(); err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	if cfg.Topology != nil {
+		cfg.Model.Topology = cfg.Topology
+	}
+	if err := cfg.Model.Topology.Validate(); err != nil {
 		return nil, fmt.Errorf("baseline: %w", err)
 	}
 	layers := len(d.Fanouts)

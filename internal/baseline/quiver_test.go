@@ -177,3 +177,65 @@ func TestQuiverCollectivesSelection(t *testing.T) {
 		t.Fatal("invalid table accepted")
 	}
 }
+
+// Contention-off golden identity per collective algorithm for the
+// Quiver baseline: Topology == nil must keep every algorithm's
+// schedule bit-identical to the pre-topology code (the flat entry
+// equals the pre-refactor golden above).
+func TestGoldenQuiverContentionOffPerAlgorithm(t *testing.T) {
+	d := datasets.SBM(datasets.SBMConfig{
+		N: 512, Classes: 4, Features: 8,
+		IntraDeg: 10, InterDeg: 2, Noise: 0.5,
+		BatchSize: 32, Fanouts: []int{5, 3}, LayerWidth: 32, Seed: 7,
+	})
+	golden := []struct {
+		table     string
+		tbl       cluster.Collectives
+		sim, loss float64
+	}{
+		{"flat", cluster.Collectives{}, 0.00085561327706666656, 0.2484752598843977},
+		{"ring", cluster.Collectives{AllReduce: cluster.Ring, AllToAll: cluster.Pairwise},
+			0.0008886240504, 0.2484752598843977},
+		{"hier", cluster.Collectives{AllReduce: cluster.Hierarchical},
+			0.00085561327706666656, 0.2484752598843977},
+	}
+	for _, g := range golden {
+		res, err := RunQuiver(d, QuiverConfig{P: 4, Epochs: 2, Seed: 5, MaxBatches: 8,
+			Collectives: g.tbl, Topology: nil})
+		if err != nil {
+			t.Fatalf("%s: %v", g.table, err)
+		}
+		if got := res.Cluster.SimTime; got != g.sim {
+			t.Errorf("%s: SimTime = %.17g, want %.17g", g.table, got, g.sim)
+		}
+		if got := res.LastEpoch().Loss; got != g.loss {
+			t.Errorf("%s: Loss = %.17g, want %.17g", g.table, got, g.loss)
+		}
+	}
+}
+
+// The Quiver baseline contends like the pipeline: an oversubscribed
+// topology stretches the schedule without touching training values.
+func TestQuiverOversubscribedTopologySlows(t *testing.T) {
+	d := datasets.ProductsLike(datasets.Tiny)
+	ideal, err := RunQuiver(d, QuiverConfig{P: 8, Seed: 3, MaxBatches: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	over, err := RunQuiver(d, QuiverConfig{P: 8, Seed: 3, MaxBatches: 8,
+		Topology: cluster.OversubscribedTopology(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ideal.LastEpoch().Loss != over.LastEpoch().Loss {
+		t.Fatal("contention changed Quiver training values")
+	}
+	if over.Cluster.SimTime <= ideal.Cluster.SimTime {
+		t.Fatalf("oversubscription did not slow Quiver: %v vs %v",
+			over.Cluster.SimTime, ideal.Cluster.SimTime)
+	}
+	if _, err := RunQuiver(d, QuiverConfig{P: 4, Seed: 3,
+		Topology: &cluster.Topology{Name: "bad", Oversub: -1}}); err == nil {
+		t.Fatal("invalid topology accepted")
+	}
+}

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -443,5 +444,50 @@ func TestTprobPerAlgorithmRows(t *testing.T) {
 	// c=1 degenerates every schedule to flat, so the ring sweep skips it.
 	if algs["flat"] != 2 || algs["ring"] != 1 {
 		t.Fatalf("algorithm coverage: %v", algs)
+	}
+}
+
+func TestContentionExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Contention(&buf, Options{Profile: datasets.Tiny, MaxBatches: 8, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 algorithms x 4 topologies x {sequential, overlapped}.
+	if len(rows) != 16 {
+		t.Fatalf("got %d rows, want 16", len(rows))
+	}
+	totals := map[string]float64{} // algorithm/topology/overlap -> total
+	for _, r := range rows {
+		key := fmt.Sprintf("%s/%s/%v", r.Algorithm, r.Topology, r.Overlap)
+		totals[key] = r.Total
+		if r.Total <= 0 {
+			t.Fatalf("%s: non-positive total", key)
+		}
+		if r.Topology == "ideal" {
+			if len(r.Links) != 0 {
+				t.Fatalf("%s: ideal topology reported physical links", key)
+			}
+			continue
+		}
+		if len(r.Links) == 0 {
+			t.Fatalf("%s: contended run reported no physical links", key)
+		}
+		if r.Slowdown < 1-1e-9 {
+			t.Fatalf("%s: contention sped the run up (%.3fx)", key, r.Slowdown)
+		}
+		if r.Topology == "oversub4x" && r.PeakNICShare < 2 {
+			t.Fatalf("%s: oversubscribed NIC never shared (peak %d)", key, r.PeakNICShare)
+		}
+	}
+	for _, algo := range []string{"replicated", "partitioned"} {
+		for _, ov := range []string{"false", "true"} {
+			ideal := totals[algo+"/ideal/"+ov]
+			over := totals[algo+"/oversub4x/"+ov]
+			if over <= ideal {
+				t.Fatalf("%s overlap=%s: oversubscribed makespan %.6g not longer than ideal %.6g",
+					algo, ov, over, ideal)
+			}
+		}
 	}
 }

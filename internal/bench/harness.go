@@ -42,6 +42,12 @@ type Options struct {
 	// the CollectiveSweep experiment overrides it per row). The zero
 	// value keeps the paper's FlatTree forms.
 	Collectives cluster.Collectives
+
+	// Topology selects the physical-link topology every experiment's
+	// simulated clusters charge under (set on Model.Topology; the
+	// Contention experiment sweeps its own topologies per row). nil
+	// keeps the pure α–β model — no shared-link contention.
+	Topology *cluster.Topology
 }
 
 func (o Options) withDefaults() Options {
@@ -52,6 +58,9 @@ func (o Options) withDefaults() Options {
 		o.Model = cluster.Perlmutter()
 	}
 	o.Model.Collectives = o.Model.Collectives.Merge(o.Collectives)
+	if o.Topology != nil {
+		o.Model.Topology = o.Topology
+	}
 	if o.Seed == 0 {
 		o.Seed = 20240101
 	}

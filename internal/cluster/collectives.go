@@ -182,6 +182,12 @@ type collCost struct {
 	count    bool
 	opBytes  int64
 	mem      int64
+	// wireBytes is the bandwidth-bound portion of the schedule expressed
+	// as effective wire bytes: seconds+seconds2 == (latency terms) +
+	// wireBytes·β at the communicator's tier. The contention charging
+	// path (CostModel.Topology != nil) turns it into a flow through the
+	// member's physical links; the ideal path ignores it.
+	wireBytes float64
 }
 
 // chargeCollective is the single charging path every collective, under
@@ -201,7 +207,17 @@ func (c *Comm) chargeCollective(r *Rank, op string, entry float64, cost collCost
 		r.countOp(op, cost.opBytes)
 		r.countLink(c.link, cost.opBytes)
 	}
-	c.finish(r, entry+cost.seconds+cost.seconds2)
+	if c.cl.cont != nil {
+		// Contention topology: the schedule's bandwidth-bound portion
+		// becomes a flow through the member's physical links, solved
+		// fairly against the other members and the in-flight ledger
+		// (contendedFinish). The guard is cluster-global, so every
+		// member takes the same branch and the extra rendezvous round
+		// stays symmetric.
+		c.finish(r, c.contendedFinish(r, op, entry, cost))
+	} else {
+		c.finish(r, entry+cost.seconds+cost.seconds2)
+	}
 	if cost.mem > 0 {
 		r.ChargeMem(cost.mem)
 	}
@@ -317,6 +333,11 @@ func barrierCost(c *Comm) collCost {
 
 func broadcastCost(c *Comm, alg CollectiveAlgorithm, bytes int, root bool) collCost {
 	cost := collCost{seconds: PredictBroadcast(c.cl.Model, alg, c.link, c.Size(), bytes)}
+	if alg == Ring && c.Size() >= 2 {
+		cost.wireBytes = float64(bytes)
+	} else {
+		cost.wireBytes = float64(bytes) * log2Ceil(c.Size())
+	}
 	if root {
 		// A tree (or ring) broadcast moves (p−1) copies across links in
 		// total; book the full volume at the root.
@@ -328,21 +349,26 @@ func broadcastCost(c *Comm, alg CollectiveAlgorithm, bytes int, root bool) collC
 
 func allGatherCost(c *Comm, alg CollectiveAlgorithm, total, own int) collCost {
 	return collCost{
-		seconds: PredictAllGather(c.cl.Model, alg, c.link, c.Size(), total, own),
-		count:   true,
-		opBytes: int64(own) * int64(c.Size()-1),
+		seconds:   PredictAllGather(c.cl.Model, alg, c.link, c.Size(), total, own),
+		count:     true,
+		opBytes:   int64(own) * int64(c.Size()-1),
+		wireBytes: float64(total - own),
 	}
 }
 
 func gatherCost(c *Comm, total, own int, root bool) collCost {
 	alpha, beta := c.alphaBeta()
 	if root {
-		return collCost{seconds: alpha*log2Ceil(c.Size()) + float64(total)*beta}
+		return collCost{
+			seconds:   alpha*log2Ceil(c.Size()) + float64(total)*beta,
+			wireBytes: float64(total),
+		}
 	}
 	return collCost{
-		seconds: alpha + float64(own)*beta,
-		count:   true,
-		opBytes: int64(own),
+		seconds:   alpha + float64(own)*beta,
+		count:     true,
+		opBytes:   int64(own),
+		wireBytes: float64(own),
 	}
 }
 
@@ -350,13 +376,14 @@ func scatterCost(c *Comm, total, own int, root bool) collCost {
 	alpha, beta := c.alphaBeta()
 	if root {
 		return collCost{
-			seconds:  float64(c.Size()-1) * alpha,
-			seconds2: float64(total) * beta,
-			count:    true,
-			opBytes:  int64(total),
+			seconds:   float64(c.Size()-1) * alpha,
+			seconds2:  float64(total) * beta,
+			count:     true,
+			opBytes:   int64(total),
+			wireBytes: float64(total),
 		}
 	}
-	return collCost{seconds: alpha, seconds2: float64(own) * beta}
+	return collCost{seconds: alpha, seconds2: float64(own) * beta, wireBytes: float64(own)}
 }
 
 func allToAllvCost(c *Comm, alg CollectiveAlgorithm, sent, recvd int) collCost {
@@ -370,11 +397,13 @@ func allToAllvCost(c *Comm, alg CollectiveAlgorithm, sent, recvd int) collCost {
 		// Bruck forwards each byte through ~⌈log₂p⌉/2 intermediate
 		// hops, so the injected traffic grows by the same factor.
 		cost.opBytes = int64(sent) * int64(log2Ceil(c.Size())) / 2
+		cost.wireBytes = 0.5 * log2Ceil(c.Size()) * float64(vol)
 		return cost
 	}
 	alpha, beta := c.alphaBeta()
 	cost.seconds = float64(c.Size()-1) * alpha
 	cost.seconds2 = float64(vol) * beta
+	cost.wireBytes = float64(vol)
 	return cost
 }
 
@@ -387,13 +416,15 @@ func allToAllvCost(c *Comm, alg CollectiveAlgorithm, sent, recvd int) collCost {
 func allReduceCost(c *Comm, alg CollectiveAlgorithm, maxBytes, ownBytes int) collCost {
 	p := c.Size()
 	cost := collCost{
-		seconds: PredictAllReduce(c.cl.Model, alg, c.link, p, maxBytes),
-		count:   true,
-		opBytes: int64(ownBytes),
-		mem:     AllReduceMemBytes(alg, p, maxBytes),
+		seconds:   PredictAllReduce(c.cl.Model, alg, c.link, p, maxBytes),
+		count:     true,
+		opBytes:   int64(ownBytes),
+		mem:       AllReduceMemBytes(alg, p, maxBytes),
+		wireBytes: float64(maxBytes),
 	}
 	if alg == Ring {
 		cost.opBytes = 2 * int64(ownBytes) * int64(p-1) / int64(p)
+		cost.wireBytes = 2 * float64(p-1) / float64(p) * float64(maxBytes)
 	}
 	return cost
 }

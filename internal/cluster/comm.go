@@ -229,6 +229,16 @@ func (rv *rendezvous) poison(err error) {
 // or whose peers can never arrive because their rank bodies already
 // returned, poisons the rendezvous and panics all participants.
 func (c *Comm) exchange(r *Rank, op string, s slot) []slot {
+	return c.exchangeTransform(r, op, s, nil)
+}
+
+// exchangeTransform is exchange with a completion hook: the last
+// arriver applies transform to the full slot set (under the rendezvous
+// lock, so the call is atomic with respect to this communicator) and
+// every participant receives the transformed slots. The contention
+// charging path uses it to solve one collective's member flows in a
+// single ledger transaction. A nil transform returns the slots as-is.
+func (c *Comm) exchangeTransform(r *Rank, op string, s slot, transform func([]slot) []slot) []slot {
 	c.checkDriver(r)
 	idx := c.LocalIndex(r)
 	rv := c.rv
@@ -252,7 +262,27 @@ func (c *Comm) exchange(r *Rank, op string, s slot) []slot {
 	rv.waiting[idx] = true
 	rv.arrived++
 	if rv.arrived == rv.n {
-		rv.out = rv.slots
+		if transform != nil {
+			// A transform panic fires with the generation complete, which
+			// disables both of the deadlock detector's poison paths (the
+			// entry scan and checkAbandoned bail when arrived == n), so
+			// poison the rendezvous here before propagating: the n-1
+			// waiters panic with the diagnostic instead of blocking in
+			// cond.Wait forever.
+			func() {
+				defer func() {
+					if p := recover(); p != nil {
+						err := fmt.Errorf("cluster: %s transform panicked on comm %v (dup %q): %v",
+							op, c.members, c.key, p)
+						rv.poison(err)
+						panic(err)
+					}
+				}()
+				rv.out = transform(rv.slots)
+			}()
+		} else {
+			rv.out = rv.slots
+		}
 		rv.slots = nil
 		rv.arrived = 0
 		rv.op = ""

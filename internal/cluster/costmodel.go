@@ -82,16 +82,32 @@ type CostModel struct {
 	// in one call pays it once instead of k times.
 	KernelLaunch float64
 
-	// Stragglers maps rank ids to compute slowdown multipliers (e.g.
-	// {3: 2.0} makes rank 3 twice as slow). Bulk-synchronous schedules
-	// are bound by their slowest member; this knob quantifies that
-	// sensitivity. Nil means no stragglers.
+	// Stragglers maps rank ids to compute multipliers (e.g. {3: 2.0}
+	// makes rank 3 twice as slow; {3: 0.5} models a rank twice as
+	// fast). Bulk-synchronous schedules are bound by their slowest
+	// member; this knob quantifies that sensitivity. Factors must be
+	// positive. Nil means no stragglers.
 	Stragglers map[int]float64
+
+	// Topology switches the model onto the contention-aware charging
+	// path: physical links (per-GPU NVLink ports, per-node NIC
+	// injection pipes, an optional oversubscribed fabric trunk) become
+	// finite resources that concurrent transfers share by progressive
+	// filling. nil keeps the pure α–β model — every transfer charged as
+	// if it had its tier's wire to itself, bit-identical to the
+	// pre-topology code (pinned by the golden tests).
+	Topology *Topology
 }
 
-// slowdown returns the compute multiplier for a rank (>= 1).
+// slowdown returns the compute multiplier for a rank. Any positive
+// factor is honored — entries in (0, 1) model faster-than-baseline
+// ranks — and a non-positive factor is a configuration error that
+// would silently vanish if ignored, so it panics instead.
 func (m CostModel) slowdown(rank int) float64 {
-	if f, ok := m.Stragglers[rank]; ok && f > 1 {
+	if f, ok := m.Stragglers[rank]; ok {
+		if f <= 0 {
+			panic(fmt.Sprintf("cluster: non-positive straggler factor %v for rank %d", f, rank))
+		}
 		return f
 	}
 	return 1

@@ -47,7 +47,9 @@ func (c *Cluster) mailboxInstance() *mailbox {
 
 // Send delivers val to rank dst under the given tag, blocking until
 // the receiver posts the matching Recv. bytes sizes the payload for
-// the cost model; the link tier is derived from the endpoints.
+// the cost model; the link tier is derived from the endpoints. Under a
+// contention topology the transfer is a flow through the sender's
+// physical links and shares them with whatever else is in flight.
 func Send[T any](c *Cluster, r *Rank, dst, tag int, val T, bytes int) {
 	if dst < 0 || dst >= c.N {
 		panic(fmt.Sprintf("cluster: Send to rank %d of %d", dst, c.N))
@@ -58,34 +60,50 @@ func Send[T any](c *Cluster, r *Rank, dst, tag int, val T, bytes int) {
 	mb := c.mailboxInstance()
 	key := mailKey{src: r.ID, dst: dst, tag: tag}
 	link := c.Model.linkBetween(r.ID, dst)
-	cost := c.Model.Alpha[link] + float64(bytes)*c.Model.Beta[link]
 
-	mb.mu.Lock()
-	slot := mb.slots[key]
-	if slot == nil {
-		slot = &mailSlot{}
-		mb.slots[key] = slot
-	}
-	if slot.hasData {
-		panic(fmt.Sprintf("cluster: duplicate Send for %+v", key))
-	}
-	slot.val = val
-	slot.bytes = bytes
-	slot.sendClock = r.clock
-	slot.hasData = true
-	mb.cond.Broadcast()
-	for !slot.hasRecv {
-		mb.cond.Wait()
-	}
-	entry := slot.sendClock
-	if slot.recvClock > entry {
-		entry = slot.recvClock
-	}
-	slot.done = entry + cost
-	slot.completed = true
-	mb.cond.Broadcast()
-	done := slot.done
-	mb.mu.Unlock()
+	// The locked section runs under a deferred unlock so the
+	// duplicate-send diagnostic below releases the mailbox before the
+	// panic propagates: a panic that kept mb.mu held would wedge every
+	// other rank's Send/Recv behind the mutex instead of letting the
+	// failure surface, the same guarantee the collective deadlock
+	// detector makes by poisoning its rendezvous.
+	done := func() float64 {
+		mb.mu.Lock()
+		defer mb.mu.Unlock()
+		slot := mb.slots[key]
+		if slot == nil {
+			slot = &mailSlot{}
+			mb.slots[key] = slot
+		}
+		if slot.hasData {
+			panic(fmt.Sprintf("cluster: duplicate Send for %+v", key))
+		}
+		slot.val = val
+		slot.bytes = bytes
+		slot.sendClock = r.clock
+		slot.hasData = true
+		mb.cond.Broadcast()
+		for !slot.hasRecv {
+			mb.cond.Wait()
+		}
+		entry := slot.sendClock
+		if slot.recvClock > entry {
+			entry = slot.recvClock
+		}
+		if ct := c.cont; ct != nil {
+			fin := ct.transact([]flowReq{{
+				start: entry + c.Model.Alpha[link],
+				bytes: float64(bytes),
+				links: ct.linksFor(r.ID, link),
+			}})
+			slot.done = fin[0]
+		} else {
+			slot.done = entry + c.Model.Alpha[link] + float64(bytes)*c.Model.Beta[link]
+		}
+		slot.completed = true
+		mb.cond.Broadcast()
+		return slot.done
+	}()
 
 	r.countOp("send", int64(bytes))
 	r.countLink(link, int64(bytes))
@@ -95,30 +113,43 @@ func Send[T any](c *Cluster, r *Rank, dst, tag int, val T, bytes int) {
 }
 
 // Recv blocks until the matching Send from src under tag arrives and
-// returns its value.
+// returns its value. src is validated up front like Send validates dst:
+// an out-of-range src can never be matched, so it panics immediately
+// instead of silently blocking forever.
 func Recv[T any](c *Cluster, r *Rank, src, tag int) T {
+	if src < 0 || src >= c.N {
+		panic(fmt.Sprintf("cluster: Recv from rank %d of %d", src, c.N))
+	}
+	if src == r.ID {
+		panic("cluster: Recv from self; use a local variable")
+	}
 	mb := c.mailboxInstance()
 	key := mailKey{src: src, dst: r.ID, tag: tag}
 
-	mb.mu.Lock()
-	slot := mb.slots[key]
-	if slot == nil {
-		slot = &mailSlot{}
-		mb.slots[key] = slot
-	}
-	if slot.hasRecv {
-		panic(fmt.Sprintf("cluster: duplicate Recv for %+v", key))
-	}
-	slot.recvClock = r.clock
-	slot.hasRecv = true
-	mb.cond.Broadcast()
-	for !slot.completed {
-		mb.cond.Wait()
-	}
-	val := slot.val.(T)
-	done := slot.done
-	delete(mb.slots, key)
-	mb.mu.Unlock()
+	// Deferred unlock for the same reason as Send: the duplicate-recv
+	// panic must not leave the mailbox locked.
+	val, done := func() (T, float64) {
+		mb.mu.Lock()
+		defer mb.mu.Unlock()
+		slot := mb.slots[key]
+		if slot == nil {
+			slot = &mailSlot{}
+			mb.slots[key] = slot
+		}
+		if slot.hasRecv {
+			panic(fmt.Sprintf("cluster: duplicate Recv for %+v", key))
+		}
+		slot.recvClock = r.clock
+		slot.hasRecv = true
+		mb.cond.Broadcast()
+		for !slot.completed {
+			mb.cond.Wait()
+		}
+		v := slot.val.(T)
+		d := slot.done
+		delete(mb.slots, key)
+		return v, d
+	}()
 
 	if done > r.clock {
 		r.advance(done-r.clock, true)

@@ -37,6 +37,9 @@ type Rank struct {
 	stream string
 	// acct is the accounting shared by every stream of this rank.
 	acct *acct
+	// cont is the cluster's physical-link contention ledger (nil when
+	// the model carries no Topology); ChargeLink routes through it.
+	cont *contention
 }
 
 // acct is the phase/traffic accounting shared across a rank's streams.
@@ -79,6 +82,7 @@ func (r *Rank) Stream(name string) *Rank {
 		phases: []string{"default"},
 		stream: name,
 		acct:   r.acct,
+		cont:   r.cont,
 	}
 	r.acct.mu.Lock()
 	r.acct.streams = append(r.acct.streams, s)
@@ -227,9 +231,20 @@ func (r *Rank) ChargeKernels(n int) {
 
 // ChargeLink bills a point transfer of the given bytes over the given
 // tier, e.g. PCIe traffic for UVA sampling. Counted as communication
-// and recorded in the per-link byte counters.
+// and recorded in the per-link byte counters. Under a contention
+// topology the transfer is a flow through the rank's physical links
+// and shares them with whatever else is in flight.
 func (r *Rank) ChargeLink(l Link, bytes int64) {
 	r.countLink(l, bytes)
+	if ct := r.cont; ct != nil {
+		fin := ct.transact([]flowReq{{
+			start: r.clock + r.model.Alpha[l],
+			bytes: float64(bytes),
+			links: ct.linksFor(r.ID, l),
+		}})
+		r.advance(fin[0]-r.clock, true)
+		return
+	}
 	r.advance(r.model.Alpha[l]+float64(bytes)*r.model.Beta[l], true)
 }
 
@@ -285,6 +300,9 @@ type Result struct {
 	SimTime float64
 	// Ranks holds per-rank accounting indexed by rank id.
 	Ranks []Stats
+	// PhysLinks holds per-physical-link traffic summaries when the run
+	// charged under a contention topology (nil for the pure α–β model).
+	PhysLinks []PhysLinkStat
 }
 
 // Phase returns the maximum time any rank spent in the named phase.
@@ -363,6 +381,10 @@ type Cluster struct {
 	mu    sync.Mutex
 	comms []*Comm
 	mail  *mailbox
+	// cont is the physical-link contention ledger, created once when
+	// the model carries a Topology and reset per Run; nil keeps the
+	// pure α–β charging path.
+	cont *contention
 	// done marks ranks whose Run bodies have returned; the deadlock
 	// detector uses it to poison rendezvous that can never complete.
 	// anyDone is the lock-free fast path: collectives skip the
@@ -388,12 +410,18 @@ func (c *Cluster) markDone(rank int) {
 	}
 }
 
-// New returns a cluster of n ranks under the given cost model.
+// New returns a cluster of n ranks under the given cost model. A model
+// carrying a Topology panics here if the topology is invalid (callers
+// with error returns validate via Topology.Validate first).
 func New(n int, model CostModel) *Cluster {
 	if n <= 0 {
 		panic("cluster: need at least one rank")
 	}
-	return &Cluster{N: n, Model: model}
+	c := &Cluster{N: n, Model: model}
+	if model.Topology != nil {
+		c.cont = newContention(model, n)
+	}
+	return c
 }
 
 // Run executes body once per rank concurrently and returns per-rank
@@ -416,6 +444,9 @@ func (c *Cluster) Run(body func(r *Rank) error) (*Result, error) {
 	for _, comm := range comms {
 		comm.resetDrivers()
 	}
+	if c.cont != nil {
+		c.cont.reset() // fresh simulated timeline: no stale occupancy
+	}
 	ranks := make([]*Rank, c.N)
 	for i := range ranks {
 		ranks[i] = &Rank{
@@ -424,6 +455,7 @@ func (c *Cluster) Run(body func(r *Rank) error) (*Result, error) {
 			model:  &c.Model,
 			phases: []string{"default"},
 			acct:   newAcct(),
+			cont:   c.cont,
 		}
 	}
 	errs := make([]error, c.N)
@@ -448,6 +480,9 @@ func (c *Cluster) Run(body func(r *Rank) error) (*Result, error) {
 		if res.Ranks[i].Clock > res.SimTime {
 			res.SimTime = res.Ranks[i].Clock
 		}
+	}
+	if c.cont != nil {
+		res.PhysLinks = c.cont.stats()
 	}
 	return res, nil
 }

@@ -57,6 +57,16 @@ type Config struct {
 	// node count. An explicit Collectives.AllReduce selection wins.
 	HierAllReduce bool
 
+	// Topology selects the physical-link topology the simulated
+	// cluster charges under (set on Model.Topology): nil keeps the
+	// pure α–β model — no contention, bit-identical to the paper's
+	// closed forms — while cluster.PerlmutterTopology or
+	// cluster.OversubscribedTopology make links finite, shared
+	// resources so concurrent transfers (same-collective members on a
+	// shared NIC, prefetch streams against the gradient all-reduce)
+	// split bandwidth instead of each charging full β.
+	Topology *cluster.Topology
+
 	// Overlap runs the staged-execution engine in its software-
 	// pipelined mode: bulk sampling and feature fetching for upcoming
 	// minibatches proceed on their own simulated streams (bounded
@@ -133,6 +143,9 @@ func (c Config) withDefaults(d *datasets.Dataset) Config {
 		c.Collectives.AllReduce = cluster.Hierarchical
 	}
 	c.Model.Collectives = c.Model.Collectives.Merge(c.Collectives)
+	if c.Topology != nil {
+		c.Model.Topology = c.Topology
+	}
 	return c
 }
 
@@ -292,6 +305,9 @@ func Run(d *datasets.Dataset, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("pipeline: c=%d must divide p=%d", cfg.C, cfg.P)
 	}
 	if err := cfg.Model.Collectives.Validate(); err != nil {
+		return nil, fmt.Errorf("pipeline: %w", err)
+	}
+	if err := cfg.Model.Topology.Validate(); err != nil {
 		return nil, fmt.Errorf("pipeline: %w", err)
 	}
 	cl := cluster.New(cfg.P, cfg.Model)

@@ -906,3 +906,152 @@ func TestOverlapDeterministicPerAlgorithm(t *testing.T) {
 		}
 	}
 }
+
+// Contention-off golden identity: with Topology == nil every strategy
+// must charge bit-identically to the pre-topology code under every
+// collective algorithm — the contention layer may not perturb the
+// ideal charging path. Values captured at the introduction of the
+// topology layer (the flat entries equal the pre-refactor goldens
+// above, pinning the chain back to the original inline formulas).
+func TestGoldenContentionOffPerAlgorithm(t *testing.T) {
+	d := tinySBM()
+	tables := map[string]cluster.Collectives{
+		"flat": {},
+		"ring": {AllReduce: cluster.Ring, AllToAll: cluster.Pairwise},
+		"hier": {AllReduce: cluster.Hierarchical},
+	}
+	golden := []struct {
+		algorithm Algorithm
+		table     string
+		sim, loss float64
+	}{
+		{GraphReplicated, "flat", 0.00055022244746666686, 0.65450965782981307},
+		{GraphReplicated, "ring", 0.00073401284746666675, 0.65450965782981307},
+		{GraphReplicated, "hier", 0.00054651823413333334, 0.65450965782981296},
+		{GraphPartitioned, "flat", 0.001098003337466667, 0.66800119073290198},
+		{GraphPartitioned, "ring", 0.0012977937374666669, 0.66800119073290198},
+		{GraphPartitioned, "hier", 0.0010942991241333338, 0.66800119073290198},
+	}
+	for _, g := range golden {
+		// An explicit "ideal" parse is the nil topology: the same run.
+		topo, err := cluster.ParseTopology("ideal")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(d, Config{P: 8, C: 2, Epochs: 2, Seed: 5, MaxBatches: 8,
+			Algorithm: g.algorithm, SparsityAware: g.algorithm == GraphPartitioned,
+			Collectives: tables[g.table], Topology: topo})
+		if err != nil {
+			t.Fatalf("%v/%s: %v", g.algorithm, g.table, err)
+		}
+		if got := res.Cluster.SimTime; got != g.sim {
+			t.Errorf("%v/%s: SimTime = %.17g, want %.17g", g.algorithm, g.table, got, g.sim)
+		}
+		if got := res.LastEpoch().Loss; got != g.loss {
+			t.Errorf("%v/%s: Loss = %.17g, want %.17g", g.algorithm, g.table, got, g.loss)
+		}
+		if res.Cluster.PhysLinks != nil {
+			t.Errorf("%v/%s: contention-off run reported physical links", g.algorithm, g.table)
+		}
+	}
+}
+
+// A contention topology may change only *when* work is charged, never
+// what is computed: training outcomes stay bit-identical while the
+// oversubscribed fabric measurably stretches the schedule.
+func TestOversubscribedTopologySlowsButPreservesTraining(t *testing.T) {
+	d := tinySBM()
+	base := Config{P: 8, C: 2, Epochs: 2, Seed: 5, MaxBatches: 8}
+	ideal, err := Run(d, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	contended := base
+	contended.Topology = cluster.OversubscribedTopology(4)
+	over, err := Run(d, contended)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := range ideal.Epochs {
+		if ideal.Epochs[e].Loss != over.Epochs[e].Loss {
+			t.Fatalf("epoch %d loss changed under contention: %v vs %v",
+				e, ideal.Epochs[e].Loss, over.Epochs[e].Loss)
+		}
+	}
+	for i, p := range ideal.Params {
+		if over.Params[i] != p {
+			t.Fatalf("param %d changed under contention", i)
+		}
+	}
+	if over.Cluster.SimTime <= ideal.Cluster.SimTime {
+		t.Fatalf("oversubscribed fabric did not slow the run: %v vs %v",
+			over.Cluster.SimTime, ideal.Cluster.SimTime)
+	}
+	if len(over.Cluster.PhysLinks) == 0 {
+		t.Fatal("contended run recorded no physical-link stats")
+	}
+}
+
+// On the fully-provisioned Perlmutter topology (one NIC per GPU) a
+// bulk-synchronous run never contends: every member of every
+// collective flows through its own injection links, so the charged
+// times agree with the ideal α–β model to floating-point round-off.
+func TestPerlmutterTopologySequentialMatchesIdeal(t *testing.T) {
+	d := tinySBM()
+	base := Config{P: 8, C: 2, Epochs: 2, Seed: 5, MaxBatches: 8}
+	ideal, err := Run(d, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perl := base
+	perl.Topology = cluster.PerlmutterTopology()
+	res, err := Run(d, perl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := math.Abs(res.Cluster.SimTime - ideal.Cluster.SimTime)
+	if diff > 1e-9*ideal.Cluster.SimTime {
+		t.Fatalf("per-GPU-NIC sequential run diverged from ideal: %.17g vs %.17g",
+			res.Cluster.SimTime, ideal.Cluster.SimTime)
+	}
+	for _, pl := range res.Cluster.PhysLinks {
+		if pl.MaxConcurrency > 1 {
+			t.Fatalf("sequential run contended on %s (concurrency %d)", pl.Name, pl.MaxConcurrency)
+		}
+	}
+}
+
+// The overlapped schedule still trains bit-identically to sequential
+// under a contention topology — contention stretches stream clocks,
+// never values — and the run completes without deadlock even though
+// every collective takes an extra rendezvous round.
+func TestOverlapUnderContentionSameTraining(t *testing.T) {
+	d := tinySBM()
+	base := Config{P: 8, C: 2, Epochs: 2, Seed: 9, MaxBatches: 8,
+		Topology: cluster.OversubscribedTopology(4)}
+	seq, err := Run(d, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	over := base
+	over.Overlap = true
+	res, err := Run(d, over)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := range seq.Epochs {
+		if seq.Epochs[e].Loss != res.Epochs[e].Loss {
+			t.Fatalf("overlap changed epoch %d loss under contention", e)
+		}
+	}
+}
+
+// Config.Topology rejects invalid layouts through Run's error path.
+func TestRunRejectsInvalidTopology(t *testing.T) {
+	d := tinySBM()
+	_, err := Run(d, Config{P: 4, C: 1, Epochs: 1, Seed: 1,
+		Topology: &cluster.Topology{Name: "bad", NICsPerNode: -1}})
+	if err == nil {
+		t.Fatal("invalid topology accepted")
+	}
+}

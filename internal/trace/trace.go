@@ -24,6 +24,20 @@ type LinkBytes struct {
 // Total sums the tiers.
 func (lb LinkBytes) Total() int64 { return lb.IntraNode + lb.InterNode + lb.Host }
 
+// PhysLinkUtil is the stable serialization of one physical link's
+// traffic under a contention topology: the named link (an NVLink port,
+// a NIC injection pipe, the fabric trunk), its capacity, the demand
+// routed through it, its utilization over the run's makespan
+// (bytes / (capacity · makespan)), and the peak number of concurrent
+// flows that shared it (1 = never contended).
+type PhysLinkUtil struct {
+	Name           string  `json:"name"`
+	CapacityGBps   float64 `json:"capacity_gbps"`
+	Bytes          float64 `json:"bytes"`
+	Utilization    float64 `json:"utilization"`
+	MaxConcurrency int     `json:"max_concurrency"`
+}
+
 // Report accumulates experiment results. Safe for concurrent Add.
 type Report struct {
 	mu      sync.Mutex

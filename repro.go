@@ -75,6 +75,14 @@ type (
 	// Collectives is the per-operation algorithm table carried by the
 	// cost model (TrainConfig.Collectives, QuiverConfig.Collectives).
 	Collectives = cluster.Collectives
+	// Topology names the simulated machine's physical links and
+	// switches the cost model onto the contention-aware charging path
+	// (TrainConfig.Topology, QuiverConfig.Topology); nil keeps the
+	// pure α–β model.
+	Topology = cluster.Topology
+	// PhysLinkStat is one physical link's traffic summary under a
+	// contention topology (TrainResult.Cluster.PhysLinks).
+	PhysLinkStat = cluster.PhysLinkStat
 	// TrainConfig drives a simulated distributed training run.
 	TrainConfig = pipeline.Config
 	// TrainResult is the outcome of a training run, including the
@@ -120,6 +128,21 @@ const (
 // flag spellings ("flat", "ring", "pairwise", "hier", ...).
 func ParseCollectives(allreduce, alltoall string) (Collectives, error) {
 	return cluster.ParseCollectives(allreduce, alltoall)
+}
+
+// ParseTopology parses the CLI topology spellings ("ideal",
+// "perlmutter", "oversub"); "ideal" is the nil topology (pure α–β, no
+// contention).
+func ParseTopology(s string) (*Topology, error) { return cluster.ParseTopology(s) }
+
+// PerlmutterTopology returns the paper testbed's physical-link layout:
+// one NIC per GPU, so only concurrent streams of one GPU ever contend.
+func PerlmutterTopology() *Topology { return cluster.PerlmutterTopology() }
+
+// OversubscribedTopology returns a commodity layout: one NIC per node
+// shared by its GPUs behind a fabric core oversubscribed by factor.
+func OversubscribedTopology(factor float64) *Topology {
+	return cluster.OversubscribedTopology(factor)
 }
 
 // GraphSAGE returns the node-wise GraphSAGE sampler (Section 4.1).
@@ -223,6 +246,15 @@ func Figure7(w io.Writer, sampler string, o ExperimentOptions) ([]bench.Fig7Row,
 // message size, with per-link wire-byte counts.
 func CollectiveComparison(w io.Writer, o ExperimentOptions) ([]bench.CollectiveRow, error) {
 	return bench.CollectiveSweep(w, o)
+}
+
+// ContentionExperiment measures both distributed algorithms under
+// finite, shared physical links (sequential and overlapped schedule ×
+// topology): where the overlap gain erodes as prefetch streams and the
+// gradient all-reduce share NIC injection bandwidth, with
+// per-physical-link utilization.
+func ContentionExperiment(w io.Writer, o ExperimentOptions) ([]bench.ContentionRow, error) {
+	return bench.Contention(w, o)
 }
 
 // Table2 prints the system capability matrix.
