@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/bench"
+	"repro/internal/cliutil"
 	"repro/internal/cluster"
 	"repro/internal/datasets"
 	"repro/internal/distsample"
@@ -22,7 +23,7 @@ import (
 func main() {
 	var (
 		dataset   = flag.String("dataset", "products", "products, protein, papers")
-		profile   = flag.String("profile", "small", "tiny, small, bench")
+		profile   = flag.String("profile", "small", cliutil.ProfileUsage)
 		p         = flag.Int("p", 8, "simulated GPUs")
 		maxB      = flag.Int("maxbatches", 0, "cap batches per epoch (0 = all)")
 		seed      = flag.Int64("seed", 1, "seed")
@@ -41,12 +42,9 @@ func main() {
 		fatal(err)
 	}
 
-	prof := datasets.Small
-	switch *profile {
-	case "tiny":
-		prof = datasets.Tiny
-	case "bench":
-		prof = datasets.Bench
+	prof, err := cliutil.ParseProfile(*profile)
+	if err != nil {
+		fatal(err)
 	}
 	d, err := datasets.ByName(*dataset, prof)
 	if err != nil {

@@ -12,6 +12,7 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/cliutil"
 	"repro/internal/cluster"
 	"repro/internal/datasets"
 	"repro/internal/graph"
@@ -20,7 +21,7 @@ import (
 
 func main() {
 	var (
-		profile = flag.String("profile", "small", "tiny, small, bench")
+		profile = flag.String("profile", "small", cliutil.ProfileUsage)
 		dataset = flag.String("dataset", "", "one dataset (default: all)")
 		out     = flag.String("out", "", "save the selected dataset to this file")
 		analyze = flag.Bool("analyze", false, "run graph analytics (triangles, components, k-core)")
@@ -59,16 +60,9 @@ func main() {
 		return
 	}
 
-	prof := datasets.Small
-	switch *profile {
-	case "tiny":
-		prof = datasets.Tiny
-	case "bench":
-		prof = datasets.Bench
-	case "small":
-	default:
-		fmt.Fprintf(os.Stderr, "datagen: unknown profile %q\n", *profile)
-		os.Exit(1)
+	prof, err := cliutil.ParseProfile(*profile)
+	if err != nil {
+		fatal(err)
 	}
 
 	names := datasets.Names()

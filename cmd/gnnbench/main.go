@@ -11,19 +11,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/cliutil"
 	"repro/internal/cluster"
-	"repro/internal/datasets"
 	"repro/internal/trace"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "one of: table2, table3, fig4, fig5, fig6, fig7sage, fig7ladies, acc, tprob, collectives, contention, amortization, cachesweep, sparsity, partition, explosion, variance, overlap, sensitivity, straggler, verify, all")
-		profile    = flag.String("profile", "small", "dataset size: tiny, small, bench")
+		experiment = flag.String("experiment", "all", "one of: table2, table3, fig4, fig5, fig6, fig7sage, fig7ladies, acc, tprob, collectives, contention, scaling, perf, amortization, cachesweep, sparsity, partition, explosion, variance, overlap, sensitivity, straggler, verify, all")
+		profile    = flag.String("profile", "small", cliutil.ProfileUsage)
 		gpus       = flag.String("gpus", "", "comma-separated GPU counts (default per experiment)")
 		maxBatches = flag.Int("maxbatches", 0, "cap batches per epoch and extrapolate (0 = all)")
 		epochs     = flag.Int("epochs", 15, "training epochs for the accuracy experiment")
@@ -33,10 +31,12 @@ func main() {
 		allreduce  = flag.String("allreduce", "default", cluster.AllReduceFlagUsage+" (the collectives and tprob experiments sweep their algorithm sets regardless)")
 		alltoall   = flag.String("alltoall", "default", cluster.AllToAllFlagUsage)
 		topology   = flag.String("topology", "ideal", cluster.TopologyFlagUsage+" (the contention experiment sweeps its topology set regardless)")
+		perfOut    = flag.String("perfout", "", "perf experiment: write the measured rows as a new baseline file (BENCH_*.json)")
+		perfBase   = flag.String("perfbaseline", "", "perf experiment: compare against this committed baseline and fail on >25% wall-time regression")
 	)
 	flag.Parse()
 
-	prof, err := parseProfile(*profile)
+	prof, err := cliutil.ParseProfile(*profile)
 	if err != nil {
 		fatal(err)
 	}
@@ -51,7 +51,7 @@ func main() {
 	opts := bench.Options{Profile: prof, MaxBatches: *maxBatches, Seed: *seed, Overlap: *overlap,
 		Collectives: coll, Topology: topo}
 	if *gpus != "" {
-		counts, err := parseInts(*gpus)
+		counts, err := cliutil.ParseGPUCounts(*gpus)
 		if err != nil {
 			fatal(err)
 		}
@@ -115,6 +115,28 @@ func main() {
 			rows, err := bench.Contention(os.Stdout, opts)
 			report.Add(id, rows)
 			return err
+		case "scaling":
+			rows, err := bench.Scaling(os.Stdout, opts)
+			report.Add(id, rows)
+			return err
+		case "perf":
+			rows, err := bench.Perf(os.Stdout, opts)
+			report.Add(id, rows)
+			if err != nil {
+				return err
+			}
+			if *perfOut != "" {
+				if err := bench.WritePerfBaseline(*perfOut, rows); err != nil {
+					return err
+				}
+				fmt.Fprintf(os.Stderr, "wrote perf baseline %s\n", *perfOut)
+			}
+			if *perfBase != "" {
+				if err := bench.PerfGate(os.Stdout, *perfBase, rows); err != nil {
+					return err
+				}
+			}
+			return nil
 		case "amortization":
 			rows, err := bench.Amortization(os.Stdout, "products", []int{1, 4, 16, 0}, opts)
 			report.Add(id, rows)
@@ -163,8 +185,11 @@ func main() {
 
 	ids := []string{*experiment}
 	if *experiment == "all" {
+		// perf is deliberately not part of "all": it measures the
+		// simulator itself (wall-clock), not the paper's figures, and
+		// is driven separately by the CI regression gate.
 		ids = []string{"table2", "table3", "fig4", "fig5", "fig6", "fig7sage", "fig7ladies",
-			"acc", "tprob", "collectives", "contention", "amortization", "cachesweep", "sparsity", "partition", "explosion", "variance", "overlap", "sensitivity", "straggler", "verify"}
+			"acc", "tprob", "collectives", "contention", "scaling", "amortization", "cachesweep", "sparsity", "partition", "explosion", "variance", "overlap", "sensitivity", "straggler", "verify"}
 	}
 	for i, id := range ids {
 		if i > 0 {
@@ -188,30 +213,6 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
 	}
-}
-
-func parseProfile(s string) (datasets.Profile, error) {
-	switch s {
-	case "tiny":
-		return datasets.Tiny, nil
-	case "small":
-		return datasets.Small, nil
-	case "bench":
-		return datasets.Bench, nil
-	}
-	return 0, fmt.Errorf("unknown profile %q", s)
-}
-
-func parseInts(s string) ([]int, error) {
-	var out []int
-	for _, part := range strings.Split(s, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil {
-			return nil, fmt.Errorf("bad GPU count %q", part)
-		}
-		out = append(out, v)
-	}
-	return out, nil
 }
 
 func fatal(err error) {

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/autotune"
 	"repro/internal/cache"
+	"repro/internal/cliutil"
 	"repro/internal/cluster"
 	"repro/internal/datasets"
 	"repro/internal/graphio"
@@ -22,7 +23,7 @@ import (
 func main() {
 	var (
 		dataset   = flag.String("dataset", "sbm", "sbm, products, protein, papers")
-		profile   = flag.String("profile", "small", "tiny, small, bench (ignored for sbm)")
+		profile   = flag.String("profile", "small", cliutil.ProfileUsage+" (ignored for sbm)")
 		p         = flag.Int("p", 4, "simulated GPUs")
 		c         = flag.Int("c", 1, "replication factor")
 		k         = flag.Int("k", 0, "bulk size (0 or negative = all minibatches at once; with -autotune, 0 = choose for me, -1 = explicitly all)")
@@ -49,14 +50,10 @@ func main() {
 	if *dataset == "sbm" {
 		d = datasets.DefaultSBM()
 	} else {
-		prof := datasets.Small
-		switch *profile {
-		case "tiny":
-			prof = datasets.Tiny
-		case "bench":
-			prof = datasets.Bench
+		prof, err := cliutil.ParseProfile(*profile)
+		if err != nil {
+			fatal(err)
 		}
-		var err error
 		d, err = datasets.ByName(*dataset, prof)
 		if err != nil {
 			fatal(err)

@@ -15,7 +15,7 @@ import (
 )
 
 func main() {
-	d := repro.ProductsLike(repro.Small)
+	d := repro.ProductsLike(repro.ProfileFromEnv(repro.Small))
 	g := d.Graph
 	fmt.Printf("graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
 

@@ -13,7 +13,7 @@ import (
 )
 
 func main() {
-	d := repro.ProductsLike(repro.Small)
+	d := repro.ProductsLike(repro.ProfileFromEnv(repro.Small))
 	fmt.Printf("Products-like: %d vertices, %d edges, %d minibatches\n",
 		d.Graph.NumVertices(), d.Graph.NumEdges(), d.NumBatches())
 

@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	d := repro.PapersLike(repro.Small)
+	d := repro.PapersLike(repro.ProfileFromEnv(repro.Small))
 	fmt.Printf("Papers-like: %d vertices, %d edges, %d minibatches\n",
 		d.Graph.NumVertices(), d.Graph.NumEdges(), d.NumBatches())
 

@@ -12,7 +12,7 @@ import (
 
 func main() {
 	// A small OGB-Products-like graph with features and labels.
-	d := repro.ProductsLike(repro.Tiny)
+	d := repro.ProductsLike(repro.ProfileFromEnv(repro.Tiny))
 	fmt.Printf("graph: %d vertices, %d edges (avg degree %.1f)\n",
 		d.Graph.NumVertices(), d.Graph.NumEdges(), d.Graph.AvgDegree())
 

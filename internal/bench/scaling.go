@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/datasets"
+	"repro/internal/pipeline"
+)
+
+// ScalingRow is one cell of the scaling study: one (mode, algorithm,
+// collective schedule, topology, p) training run.
+type ScalingRow struct {
+	Mode       string // "weak" (batches ∝ p) or "strong" (fixed batches)
+	Algorithm  string // "replicated" or "partitioned"
+	Collective string // all-reduce schedule the run charged under
+	Topology   string
+	P, C       int
+	Batches    int // global batches simulated per epoch
+	// EpochSec is the simulated seconds the run charged. Weak rows
+	// report the raw makespan of the truncated run (per-rank work is
+	// pinned, so the raw clock is the comparable quantity); strong
+	// rows report the full epoch.
+	EpochSec   float64
+	Efficiency float64 // vs the series' smallest p (weak: T₀·(w/w₀)/T; strong: T₀·p₀/(T·p))
+	WallSec    float64 // simulator wall-clock for the run (real seconds)
+	LedgerPeak int     // contention ledger high-water spans (0 = ideal topology)
+}
+
+// ScalingGPUCounts is the default GPU-count axis of the scaling study.
+// It reaches the p=512 the paper's scaling argument is about — far
+// past the p≤128 the figure experiments sweep.
+var ScalingGPUCounts = []int{8, 32, 128, 512}
+
+// scalingPartitionedC returns the replication factor the partitioned
+// algorithm uses at p, or 0 when no valid grid exists: the pipeline
+// needs c | p and c² | p, and the sweep pins c=2 (so the 1.5D
+// algorithm's degradation at fixed replication stays visible), which
+// requires 4 | p. Counts that don't qualify are skipped, not errors —
+// the Tprob experiment set that precedent for invalid (p, c) combos.
+func scalingPartitionedC(p int) int {
+	if p%4 != 0 {
+		return 0
+	}
+	return 2
+}
+
+// Scaling runs the weak- and strong-scaling study on one dataset
+// ("products" at the chosen profile): both distributed algorithms,
+// each all-reduce schedule, ideal and oversubscribed topologies,
+// across GPU counts up to p=512.
+//
+//   - Weak scaling caps the epoch at min(p, total) batches, one per
+//     rank, so per-rank work is constant and the ideal epoch time is
+//     flat; efficiency is T(p₀)/T(p).
+//   - Strong scaling runs the full batch list at every p, so the ideal
+//     epoch time halves as p doubles; efficiency is T(p₀)·p₀/(T(p)·p).
+//
+// WallSec reports the real time the simulator needed per run — the
+// simulator-performance axis this study exists to keep honest (the
+// perf suite gates it; see Perf).
+func Scaling(w io.Writer, o Options) ([]ScalingRow, error) {
+	// An unset GPU list must be detected before withDefaults fills it,
+	// or an explicit six-count -gpus list would be indistinguishable
+	// from the harness default.
+	counts := o.GPUCounts
+	o = o.withDefaults()
+	if len(counts) == 0 {
+		counts = ScalingGPUCounts
+	}
+	d, err := datasets.ByName("products", o.Profile)
+	if err != nil {
+		return nil, err
+	}
+	total := d.NumBatches()
+	if o.MaxBatches > 0 && o.MaxBatches < total {
+		total = o.MaxBatches
+	}
+
+	collectives := []struct {
+		name string
+		tbl  cluster.Collectives
+	}{
+		{"flat", cluster.Collectives{}},
+		{"ring", cluster.Collectives{AllReduce: cluster.Ring, AllToAll: cluster.Pairwise}},
+		{"hier", cluster.Collectives{AllReduce: cluster.Hierarchical}},
+	}
+	topologies := []struct {
+		name string
+		topo *cluster.Topology
+	}{
+		{"ideal", nil},
+		{"oversub", cluster.OversubscribedTopology(4)},
+	}
+
+	fmt.Fprintf(w, "Scaling study: %s/%s, weak + strong, per algorithm x collective x topology (simulated epoch seconds)\n",
+		d.Name, o.Profile)
+	fmt.Fprintf(w, "%-6s %-12s %-6s %-8s %5s %3s %7s %10s %10s %9s %7s\n",
+		"mode", "algorithm", "coll", "topology", "p", "c", "batches", "epoch-sec", "efficiency", "wall-sec", "ledger")
+
+	var rows []ScalingRow
+	for _, mode := range []string{"weak", "strong"} {
+		for _, alg := range []string{"replicated", "partitioned"} {
+			for _, coll := range collectives {
+				for _, topo := range topologies {
+					var base ScalingRow
+					basePerBlock := 1
+					haveBase := false
+					for _, p := range counts {
+						cfg := pipeline.Config{
+							P: p, C: CFor(p), K: pipeline.KAll,
+							Epochs: 1, Seed: o.Seed,
+							Model:       o.Model,
+							Collectives: coll.tbl,
+							Topology:    topo.topo,
+						}
+						if alg == "partitioned" {
+							c := scalingPartitionedC(p)
+							if c == 0 {
+								fmt.Fprintf(w, "%-6s %-12s %-6s %-8s %5d   - skipped: partitioned grid needs 4 | p\n",
+									mode, alg, coll.name, topo.name, p)
+								continue
+							}
+							cfg.Algorithm = pipeline.GraphPartitioned
+							cfg.SparsityAware = true
+							cfg.C = c
+						}
+						batches := total
+						if mode == "weak" && p < total {
+							batches = p // one batch per rank
+						}
+						cfg.MaxBatches = batches
+						t0 := time.Now()
+						res, err := pipeline.Run(d, cfg)
+						if err != nil {
+							return nil, fmt.Errorf("bench: scaling %s/%s/%s/%s p=%d: %w",
+								mode, alg, coll.name, topo.name, p, err)
+						}
+						row := ScalingRow{
+							Mode: mode, Algorithm: alg, Collective: coll.name,
+							Topology: topo.name, P: p, C: cfg.C, Batches: batches,
+							WallSec:    time.Since(t0).Seconds(),
+							LedgerPeak: res.Cluster.LedgerPeakSpans,
+						}
+						// Sampling blocks sharing the batch list: ranks
+						// (replicated) or grid rows (partitioned).
+						blocks := p
+						if alg == "partitioned" {
+							blocks = p / cfg.C
+						}
+						perBlock := (batches + blocks - 1) / blocks
+						if mode == "weak" {
+							// Raw truncated-run makespan: per-block work is
+							// pinned, so no extrapolation may enter the
+							// comparison (LastEpoch().Total is scaled to a
+							// full epoch when MaxBatches truncates).
+							row.EpochSec = res.Cluster.SimTime
+						} else {
+							row.EpochSec = res.LastEpoch().Total
+						}
+						if !haveBase {
+							base = row
+							basePerBlock = perBlock
+							haveBase = true
+							row.Efficiency = 1
+						} else if row.EpochSec > 0 {
+							if mode == "weak" {
+								// Constant per-block work: a flat raw clock is
+								// 100% (scaled when ceil-division makes the
+								// per-block share differ from the base's).
+								row.Efficiency = base.EpochSec * float64(perBlock) / float64(basePerBlock) / row.EpochSec
+							} else {
+								// Fixed total work: halving epoch time per doubling is 100%.
+								row.Efficiency = base.EpochSec * float64(base.P) / (row.EpochSec * float64(row.P))
+							}
+						}
+						rows = append(rows, row)
+						fmt.Fprintf(w, "%-6s %-12s %-6s %-8s %5d %3d %7d %10.4f %10.3f %9.3f %7d\n",
+							row.Mode, row.Algorithm, row.Collective, row.Topology, row.P, row.C,
+							row.Batches, row.EpochSec, row.Efficiency, row.WallSec, row.LedgerPeak)
+					}
+				}
+			}
+		}
+	}
+	return rows, nil
+}

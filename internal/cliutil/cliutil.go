@@ -1,0 +1,66 @@
+// Package cliutil holds the flag-parsing helpers shared by the four
+// CLI binaries (trainer, gnnbench, compare, datagen), so -profile and
+// -gpus accept one vocabulary everywhere and the validation is tested
+// in one place instead of re-implemented per main package. The
+// collective-algorithm and topology flags parse through
+// cluster.ParseCollectives / cluster.ParseTopology directly; this
+// package's tests pin their accept/reject tables alongside the local
+// helpers so the whole shared flag surface has one conformance suite.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/datasets"
+)
+
+// ParseProfile maps a -profile flag value to a dataset size tier.
+func ParseProfile(s string) (datasets.Profile, error) {
+	switch s {
+	case "tiny":
+		return datasets.Tiny, nil
+	case "small":
+		return datasets.Small, nil
+	case "scale":
+		return datasets.Scale, nil
+	case "bench":
+		return datasets.Bench, nil
+	}
+	return 0, fmt.Errorf("unknown profile %q (want tiny, small, scale or bench)", s)
+}
+
+// ProfileUsage is the shared help text for -profile flags.
+const ProfileUsage = "dataset size: tiny, small, scale, bench"
+
+// ParseInts parses a comma-separated integer list (surrounding spaces
+// tolerated). An empty string is an error; callers treat "flag unset"
+// before calling.
+func ParseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, part := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q in list %q", part, s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ParseGPUCounts parses a -gpus flag: a comma-separated list of
+// strictly positive simulated GPU counts.
+func ParseGPUCounts(s string) ([]int, error) {
+	counts, err := ParseInts(s)
+	if err != nil {
+		return nil, fmt.Errorf("bad GPU count list: %w", err)
+	}
+	for _, c := range counts {
+		if c <= 0 {
+			return nil, fmt.Errorf("bad GPU count %d: must be positive", c)
+		}
+	}
+	return counts, nil
+}

@@ -1,0 +1,129 @@
+package cliutil
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/datasets"
+)
+
+// The four CLIs (trainer, gnnbench, compare, datagen) share this flag
+// vocabulary; these tables are the single conformance suite for it.
+
+func TestParseProfileAccepts(t *testing.T) {
+	want := map[string]datasets.Profile{
+		"tiny":  datasets.Tiny,
+		"small": datasets.Small,
+		"scale": datasets.Scale,
+		"bench": datasets.Bench,
+	}
+	for in, p := range want {
+		got, err := ParseProfile(in)
+		if err != nil || got != p {
+			t.Errorf("ParseProfile(%q) = %v, %v; want %v", in, got, err, p)
+		}
+	}
+}
+
+func TestParseProfileRejects(t *testing.T) {
+	for _, in := range []string{"", "Tiny", "TINY", "medium", "bench ", "tiny,small", "0"} {
+		if _, err := ParseProfile(in); err == nil {
+			t.Errorf("ParseProfile(%q) accepted", in)
+		}
+	}
+}
+
+func TestParseIntsAccepts(t *testing.T) {
+	cases := map[string][]int{
+		"4":           {4},
+		"4,8,16":      {4, 8, 16},
+		" 4 , 8 ":     {4, 8},
+		"0":           {0},
+		"-3":          {-3},
+		"512,512,512": {512, 512, 512},
+	}
+	for in, want := range cases {
+		got, err := ParseInts(in)
+		if err != nil || !reflect.DeepEqual(got, want) {
+			t.Errorf("ParseInts(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+}
+
+func TestParseIntsRejects(t *testing.T) {
+	for _, in := range []string{"", "a", "4,", ",4", "4;8", "1.5", "4,,8", "4 8"} {
+		if _, err := ParseInts(in); err == nil {
+			t.Errorf("ParseInts(%q) accepted", in)
+		}
+	}
+}
+
+func TestParseGPUCountsAccepts(t *testing.T) {
+	got, err := ParseGPUCounts("4,8,512")
+	if err != nil || !reflect.DeepEqual(got, []int{4, 8, 512}) {
+		t.Fatalf("ParseGPUCounts = %v, %v", got, err)
+	}
+}
+
+func TestParseGPUCountsRejects(t *testing.T) {
+	for _, in := range []string{"", "0", "-4", "4,0,8", "4,-1", "p16", "16x"} {
+		if _, err := ParseGPUCounts(in); err == nil {
+			t.Errorf("ParseGPUCounts(%q) accepted", in)
+		}
+	}
+}
+
+// -allreduce / -alltoall accept/reject tables: the CLIs hand these
+// straight to cluster.ParseCollectives, pinned here so a vocabulary
+// change cannot slip past the shared flag surface unnoticed.
+func TestCollectivesFlagTable(t *testing.T) {
+	accept := []struct{ allreduce, alltoall string }{
+		{"default", "default"},
+		{"", ""}, // empty = default
+		{"flat", "flat"},
+		{"tree", "bruck"}, // synonyms
+		{"Ring", "Pairwise"},
+		{"ring", "pairwise"},
+		{"hier", "default"},
+		{"hierarchical", "flat"},
+		{"flattree", "flattree"},
+	}
+	for _, c := range accept {
+		if _, err := cluster.ParseCollectives(c.allreduce, c.alltoall); err != nil {
+			t.Errorf("ParseCollectives(%q, %q) rejected: %v", c.allreduce, c.alltoall, err)
+		}
+	}
+	reject := []struct{ allreduce, alltoall string }{
+		{"rng", "default"},
+		{"flat,ring", "default"},
+		{"allreduce=ring", "default"},
+		{"pairwise", "default"}, // pairwise is not an all-reduce schedule
+		{"bruck", "default"},
+		{"default", "ring"}, // ring is not an all-to-allv schedule
+		{"default", "hier"}, // hierarchical is not an all-to-allv schedule
+	}
+	for _, c := range reject {
+		if _, err := cluster.ParseCollectives(c.allreduce, c.alltoall); err == nil {
+			t.Errorf("ParseCollectives(%q, %q) accepted", c.allreduce, c.alltoall)
+		}
+	}
+}
+
+// -topology accept/reject table (cluster.ParseTopology).
+func TestTopologyFlagTable(t *testing.T) {
+	// Case and surrounding space are normalized; "" and "none" mean ideal.
+	for _, in := range []string{"ideal", "none", "", "Ideal", "perlmutter", " perlmutter ", "oversub", "oversubscribed"} {
+		if _, err := cluster.ParseTopology(in); err != nil {
+			t.Errorf("ParseTopology(%q) rejected: %v", in, err)
+		}
+	}
+	if topo, err := cluster.ParseTopology("ideal"); err != nil || topo != nil {
+		t.Errorf("ParseTopology(ideal) = %v, %v; want nil topology", topo, err)
+	}
+	for _, in := range []string{"fat-tree", "oversub2", "ideal,oversub", "4"} {
+		if _, err := cluster.ParseTopology(in); err == nil {
+			t.Errorf("ParseTopology(%q) accepted", in)
+		}
+	}
+}

@@ -206,13 +206,32 @@ type rendezvous struct {
 	waiting []bool // member indices arrived in the current generation
 	slots   []slot
 	out     []slot
-	failed  error // poisoned: every current and future participant panics
+	// bufs is a three-generation ring reusing the slot storage instead
+	// of allocating n slots per collective. Three is the safe depth: a
+	// participant consumes generation g's slots before it arrives at
+	// generation g+2 (collectives finish reading before returning, and
+	// the contention charging path interposes at most one nested
+	// generation), and generation g+3's first arrival — the earliest
+	// reuse — requires g+2 to have completed, i.e. every participant
+	// to have arrived at g+2.
+	bufs   [3][]slot
+	failed error // poisoned: every current and future participant panics
 }
 
 func newRendezvous(n int) *rendezvous {
 	rv := &rendezvous{n: n, waiting: make([]bool, n)}
 	rv.cond = sync.NewCond(&rv.mu)
 	return rv
+}
+
+// genBuf returns the reusable slot buffer for the current generation.
+// Caller holds rv.mu (first arrival of the generation).
+func (rv *rendezvous) genBuf() []slot {
+	i := rv.gen % 3
+	if rv.bufs[i] == nil {
+		rv.bufs[i] = make([]slot, rv.n)
+	}
+	return rv.bufs[i]
 }
 
 // poison marks the rendezvous failed and wakes every waiter; callers
@@ -255,8 +274,8 @@ func (c *Comm) exchangeTransform(r *Rank, op string, s slot, transform func([]sl
 		rv.poison(err)
 		panic(err)
 	}
-	if rv.slots == nil {
-		rv.slots = make([]slot, rv.n)
+	if rv.arrived == 0 {
+		rv.slots = rv.genBuf()
 	}
 	rv.slots[idx] = s
 	rv.waiting[idx] = true
@@ -535,25 +554,39 @@ func AllReduceSum(c *Comm, r *Rank, x []float64) []float64 {
 }
 
 // allReduceSumAlg runs the rendezvous and fold shared by the flat and
-// ring schedules; only the charged cost differs.
+// ring schedules; only the charged cost differs. The elementwise fold
+// is identical on every member (zeros, then += each slot in member
+// order), so the last arriver computes it once inside the rendezvous
+// transform and members copy the shared total into caller-owned
+// storage — O(n·len) total instead of the O(n²·len) of every member
+// re-folding all n slots, the dominant simulator cost at large p.
 func allReduceSumAlg(c *Comm, r *Rank, x []float64, alg CollectiveAlgorithm) []float64 {
-	slots := c.exchange(r, "allreduce", slot{clock: r.clock, val: x, bytes: 8 * len(x)})
+	slots := c.exchangeTransform(r, "allreduce", slot{clock: r.clock, val: x, bytes: 8 * len(x)},
+		func(slots []slot) []slot {
+			sum := make([]float64, len(slots[0].val.([]float64)))
+			maxBytes := 0
+			for _, s := range slots {
+				v := s.val.([]float64)
+				if len(v) != len(sum) {
+					panic(fmt.Sprintf("cluster: AllReduceSum length mismatch %d vs %d", len(v), len(sum)))
+				}
+				for i, f := range v {
+					sum[i] += f
+				}
+				if s.bytes > maxBytes {
+					maxBytes = s.bytes
+				}
+			}
+			for i := range slots {
+				slots[i].val = sum
+				slots[i].bytes = maxBytes
+			}
+			return slots
+		})
 	entry := maxClock(slots)
-	out := make([]float64, len(x))
-	maxBytes := 0
-	for _, s := range slots {
-		v := s.val.([]float64)
-		if len(v) != len(x) {
-			panic(fmt.Sprintf("cluster: AllReduceSum length mismatch %d vs %d", len(v), len(x)))
-		}
-		for i, f := range v {
-			out[i] += f
-		}
-		if s.bytes > maxBytes {
-			maxBytes = s.bytes
-		}
-	}
-	c.chargeCollective(r, "allreduce", entry, allReduceCost(c, alg, maxBytes, 8*len(x)))
+	me := c.LocalIndex(r)
+	out := append([]float64(nil), slots[me].val.([]float64)...)
+	c.chargeCollective(r, "allreduce", entry, allReduceCost(c, alg, slots[me].bytes, 8*len(x)))
 	return out
 }
 

@@ -76,6 +76,20 @@ type contention struct {
 	busy     [][]span  // per link: committed occupancy, sorted by hi
 	bytes    []float64 // per link: total committed demand
 	maxFlows []int     // per link: peak concurrent flows observed
+
+	// Sweep scratch, reused across transactions (caller holds mu):
+	// counts is indexed by link id and reset via the touched list, and
+	// events grows to the transaction's event horizon once instead of
+	// reallocating per solve.
+	counts  []int
+	touched []int
+	events  []float64
+
+	// curSpans/peakSpans track the ledger's committed-span population
+	// (inserts minus prunes) and its high-water mark — the "peak
+	// ledger size" the perf-regression suite records, since ledger
+	// growth is what turns the sweep superlinear at large p.
+	curSpans, peakSpans int
 }
 
 // newContention enumerates the topology's physical links for an n-rank
@@ -131,6 +145,7 @@ func newContention(model CostModel, n int) *contention {
 	ct.busy = make([][]span, len(ct.caps))
 	ct.bytes = make([]float64, len(ct.caps))
 	ct.maxFlows = make([]int, len(ct.caps))
+	ct.counts = make([]int, len(ct.caps))
 	return ct
 }
 
@@ -160,6 +175,15 @@ func (ct *contention) reset() {
 		ct.bytes[i] = 0
 		ct.maxFlows[i] = 0
 	}
+	ct.curSpans = 0
+	ct.peakSpans = 0
+}
+
+// peak returns the ledger's high-water committed span count.
+func (ct *contention) peak() int {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	return ct.peakSpans
 }
 
 // stats snapshots the per-link traffic summary.
@@ -194,6 +218,38 @@ func (ct *contention) transact(flows []flowReq) []float64 {
 	return fin
 }
 
+// soloLocked is the uncontended fast path: a single flow whose links
+// carry no committed occupancy past its start runs at the minimum of
+// its link capacities for its whole lifetime. The arithmetic matches
+// the sweep exactly — one segment, dt = bytes / min(cap/1) — so the
+// fast path is bit-identical to solveLocked on the same input. It
+// returns false when any link still has overlapping committed spans
+// (or the sweep's bookkeeping is otherwise needed). Caller holds
+// ct.mu; on success the per-link peak-concurrency floor of 1 is
+// recorded here.
+func (ct *contention) soloLocked(f flowReq, fin []float64) bool {
+	for _, l := range f.links {
+		if len(ct.overlapping(l, f.start)) > 0 {
+			return false
+		}
+	}
+	r := math.Inf(1)
+	for _, l := range f.links {
+		if ct.caps[l] < r {
+			r = ct.caps[l]
+		}
+		if ct.maxFlows[l] < 1 {
+			ct.maxFlows[l] = 1
+		}
+	}
+	if math.IsInf(r, 1) { // infinite-capacity link: free transfer
+		fin[0] = f.start
+		return true
+	}
+	fin[0] = f.start + f.bytes/r
+	return true
+}
+
 // overlapping returns the committed spans on link l that end after t0,
 // pruning the ones that ended earlier: they can never slow a future
 // flow unless that flow starts before t0, i.e. unless concurrent
@@ -205,6 +261,7 @@ func (ct *contention) overlapping(l int, t0 float64) []span {
 	if i > 0 {
 		b = b[i:]
 		ct.busy[l] = b
+		ct.curSpans -= i
 	}
 	return b
 }
@@ -217,6 +274,10 @@ func (ct *contention) insertSpan(l int, s span) {
 	copy(b[i+1:], b[i:])
 	b[i] = s
 	ct.busy[l] = b
+	ct.curSpans++
+	if ct.curSpans > ct.peakSpans {
+		ct.peakSpans = ct.curSpans
+	}
 }
 
 // solveLocked runs the progressive-filling sweep: walk simulated time
@@ -243,35 +304,45 @@ func (ct *contention) solveLocked(flows []flowReq) []float64 {
 	if active == 0 {
 		return fin
 	}
+	if len(flows) == 1 && ct.soloLocked(flows[0], fin) {
+		return fin
+	}
 
 	// Committed occupancy overlapping [t, ∞) on the links this batch
-	// touches, plus the static event times of the sweep.
-	ext := map[int][]span{}
-	events := []float64{}
+	// touches, plus the static event times of the sweep. The touched
+	// list drives both the scratch reset and the per-segment counting
+	// (link ids repeat across member flows, so it is deduplicated via
+	// the counts scratch marking).
+	ct.touched = ct.touched[:0]
+	events := ct.events[:0]
 	for _, f := range flows {
 		if f.bytes <= 0 {
 			continue
 		}
 		events = append(events, f.start)
 		for _, l := range f.links {
-			if _, ok := ext[l]; ok {
+			if ct.counts[l] == -1 {
 				continue
 			}
-			spans := ct.overlapping(l, t)
-			ext[l] = spans
-			for _, s := range spans {
+			ct.counts[l] = -1 // mark seen
+			ct.touched = append(ct.touched, l)
+			for _, s := range ct.overlapping(l, t) {
 				events = append(events, s.lo, s.hi)
 			}
 		}
 	}
+	for _, l := range ct.touched {
+		ct.counts[l] = 0
+	}
 	sort.Float64s(events)
+	ct.events = events
 
-	counts := map[int]int{}
 	rate := make([]float64, len(flows))
+	counts := ct.counts
 	for active > 0 {
 		// Flow count per link at time t (batch flows + committed spans).
-		for l := range counts {
-			delete(counts, l)
+		for _, l := range ct.touched {
+			counts[l] = 0
 		}
 		for i, f := range flows {
 			if rem[i] <= 0 || f.start > t {
@@ -281,16 +352,16 @@ func (ct *contention) solveLocked(flows []flowReq) []float64 {
 				counts[l]++
 			}
 		}
-		for l, spans := range ext {
-			for _, s := range spans {
+		for _, l := range ct.touched {
+			for _, s := range ct.busy[l] {
 				if s.lo <= t && t < s.hi {
 					counts[l]++
 				}
 			}
 		}
-		for l, n := range counts {
-			if n > ct.maxFlows[l] {
-				ct.maxFlows[l] = n
+		for _, l := range ct.touched {
+			if counts[l] > ct.maxFlows[l] {
+				ct.maxFlows[l] = counts[l]
 			}
 		}
 

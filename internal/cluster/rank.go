@@ -32,6 +32,12 @@ type Rank struct {
 	// driver sets ("probability"/"sampling"/"extraction"). SetPhase
 	// replaces the top level; Push/PopPhase manage nesting.
 	phases []string
+	// phaseSlots caches the accumulator indices of the distinct phases
+	// on the stack, in stack order — recomputed on every stack change
+	// so the per-charge hot path (advance) adds into flat slices
+	// instead of hashing names and re-scanning the stack for
+	// duplicates on every charge.
+	phaseSlots []int
 
 	// stream is the timeline's name; "" is the rank's main stream.
 	stream string
@@ -45,25 +51,45 @@ type Rank struct {
 // acct is the phase/traffic accounting shared across a rank's streams.
 // Streams run on separate goroutines, so bucket updates take the
 // mutex; each stream's clock is goroutine-local and needs no lock.
+// Phase time accrues into index-addressed slots (phaseIdx interns the
+// names) so the per-charge path performs no map operations.
 type acct struct {
-	mu         sync.Mutex
-	phaseTotal map[string]float64 // phase -> total simulated seconds
-	phaseComm  map[string]float64 // phase -> communication part
-	bytesSent  int64
-	opCount    map[string]int64    // collective name -> invocations
-	opBytes    map[string]int64    // collective name -> bytes sent
-	linkBytes  map[string][3]int64 // phase -> wire bytes injected per Link tier
-	streams    []*Rank             // forked streams (main rank excluded)
+	mu           sync.Mutex
+	phaseIdx     map[string]int // phase name -> slot
+	phaseNames   []string       // slot -> phase name
+	phaseTotal   []float64      // slot -> total simulated seconds
+	phaseComm    []float64      // slot -> communication part
+	phaseTouched []bool         // slot -> received at least one charge
+	bytesSent    int64
+	opCount      map[string]int64    // collective name -> invocations
+	opBytes      map[string]int64    // collective name -> bytes sent
+	linkBytes    map[string][3]int64 // phase -> wire bytes injected per Link tier
+	streams      []*Rank             // forked streams (main rank excluded)
 }
 
 func newAcct() *acct {
 	return &acct{
-		phaseTotal: map[string]float64{},
-		phaseComm:  map[string]float64{},
-		opCount:    map[string]int64{},
-		opBytes:    map[string]int64{},
-		linkBytes:  map[string][3]int64{},
+		phaseIdx:  map[string]int{},
+		opCount:   map[string]int64{},
+		opBytes:   map[string]int64{},
+		linkBytes: map[string][3]int64{},
 	}
+}
+
+// slotFor interns a phase name, returning its accumulator index.
+func (a *acct) slotFor(name string) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if i, ok := a.phaseIdx[name]; ok {
+		return i
+	}
+	i := len(a.phaseNames)
+	a.phaseIdx[name] = i
+	a.phaseNames = append(a.phaseNames, name)
+	a.phaseTotal = append(a.phaseTotal, 0)
+	a.phaseComm = append(a.phaseComm, 0)
+	a.phaseTouched = append(a.phaseTouched, false)
+	return i
 }
 
 // Stream forks a concurrent execution timeline: the returned handle
@@ -84,6 +110,7 @@ func (r *Rank) Stream(name string) *Rank {
 		acct:   r.acct,
 		cont:   r.cont,
 	}
+	s.rebuildPhaseSlots()
 	r.acct.mu.Lock()
 	r.acct.streams = append(r.acct.streams, s)
 	r.acct.mu.Unlock()
@@ -132,10 +159,16 @@ func (r *Rank) countLink(l Link, bytes int64) {
 
 // SetPhase switches the bucket subsequent charges accrue to (replaces
 // the top of the phase stack).
-func (r *Rank) SetPhase(name string) { r.phases[len(r.phases)-1] = name }
+func (r *Rank) SetPhase(name string) {
+	r.phases[len(r.phases)-1] = name
+	r.rebuildPhaseSlots()
+}
 
 // PushPhase opens a nested phase level. Charges accrue to all levels.
-func (r *Rank) PushPhase(name string) { r.phases = append(r.phases, name) }
+func (r *Rank) PushPhase(name string) {
+	r.phases = append(r.phases, name)
+	r.rebuildPhaseSlots()
+}
 
 // PopPhase closes the innermost phase level.
 func (r *Rank) PopPhase() {
@@ -143,6 +176,26 @@ func (r *Rank) PopPhase() {
 		panic("cluster: PopPhase on base level")
 	}
 	r.phases = r.phases[:len(r.phases)-1]
+	r.rebuildPhaseSlots()
+}
+
+// rebuildPhaseSlots recomputes the distinct-phase accumulator indices
+// for the current stack (stack order, first occurrence wins — the same
+// set and order the per-charge loop historically derived on the fly).
+func (r *Rank) rebuildPhaseSlots() {
+	r.phaseSlots = r.phaseSlots[:0]
+	for i, name := range r.phases {
+		dup := false
+		for _, prev := range r.phases[:i] {
+			if prev == name {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			r.phaseSlots = append(r.phaseSlots, r.acct.slotFor(name))
+		}
+	}
 }
 
 // Phase returns the current (innermost) phase name.
@@ -175,20 +228,11 @@ func (r *Rank) advance(dt float64, comm bool) {
 	r.clock += dt
 	a := r.acct
 	a.mu.Lock()
-	for i, name := range r.phases {
-		dup := false
-		for _, prev := range r.phases[:i] {
-			if prev == name {
-				dup = true
-				break
-			}
-		}
-		if dup {
-			continue
-		}
-		a.phaseTotal[name] += dt
+	for _, s := range r.phaseSlots {
+		a.phaseTotal[s] += dt
+		a.phaseTouched[s] = true
 		if comm {
-			a.phaseComm[name] += dt
+			a.phaseComm[s] += dt
 		}
 	}
 	a.mu.Unlock()
@@ -269,13 +313,16 @@ func (r *Rank) stats() Stats {
 	a := r.acct
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	// Only charged phases surface (a phase merely set, never charged,
+	// historically created no bucket).
 	pt := make(map[string]float64, len(a.phaseTotal))
-	for k, v := range a.phaseTotal {
-		pt[k] = v
-	}
 	pc := make(map[string]float64, len(a.phaseComm))
-	for k, v := range a.phaseComm {
-		pc[k] = v
+	for i, name := range a.phaseNames {
+		if !a.phaseTouched[i] {
+			continue
+		}
+		pt[name] = a.phaseTotal[i]
+		pc[name] = a.phaseComm[i]
 	}
 	oc := make(map[string]int64, len(a.opCount))
 	for k, v := range a.opCount {
@@ -303,6 +350,11 @@ type Result struct {
 	// PhysLinks holds per-physical-link traffic summaries when the run
 	// charged under a contention topology (nil for the pure α–β model).
 	PhysLinks []PhysLinkStat
+	// LedgerPeakSpans is the contention ledger's high-water committed
+	// span count over the run (0 for the pure α–β model) — the memory
+	// the progressive-filling solver had to carry, recorded by the
+	// perf-regression suite.
+	LedgerPeakSpans int
 }
 
 // Phase returns the maximum time any rank spent in the named phase.
@@ -457,6 +509,7 @@ func (c *Cluster) Run(body func(r *Rank) error) (*Result, error) {
 			acct:   newAcct(),
 			cont:   c.cont,
 		}
+		ranks[i].rebuildPhaseSlots()
 	}
 	errs := make([]error, c.N)
 	var wg sync.WaitGroup
@@ -483,6 +536,7 @@ func (c *Cluster) Run(body func(r *Rank) error) (*Result, error) {
 	}
 	if c.cont != nil {
 		res.PhysLinks = c.cont.stats()
+		res.LedgerPeakSpans = c.cont.peak()
 	}
 	return res, nil
 }

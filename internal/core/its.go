@@ -17,11 +17,52 @@ import (
 // back to exponential-key weighted reservoir selection (Efraimidis &
 // Sanders-style), which is draw-exact without replacement.
 
+// FloatRNG is the uniform-variate source the samplers draw from:
+// *rand.Rand and *RowRNG (the allocation-free exact replica of
+// math/rand's stream) both satisfy it.
+type FloatRNG interface {
+	Float64() float64
+}
+
 // SampleRowITS selects min(s, len(cols)) distinct indices into cols
 // with probability proportional to weights, without replacement.
 // It returns the selected positions (sorted) and the number of
 // elementary operations performed (for cost accounting).
-func SampleRowITS(weights []float64, s int, rng *rand.Rand) (picks []int, ops int64) {
+func SampleRowITS(weights []float64, s int, rng FloatRNG) (picks []int, ops int64) {
+	var sc itsScratch
+	return sampleRowITS(weights, s, rng, &sc)
+}
+
+// itsScratch holds the per-row working storage SampleRowITS needs, so
+// a driver sampling many rows (RowSampler) reuses it instead of
+// reallocating the prefix-sum and selection buffers per row.
+type itsScratch struct {
+	prefix []float64
+	chosen []int // selected indices, kept sorted
+	keyed  []itsKeyed
+}
+
+type itsKeyed struct {
+	key float64
+	idx int
+}
+
+// insertChosen adds idx to the sorted selection if absent.
+func (sc *itsScratch) insertChosen(idx int) {
+	at := sort.SearchInts(sc.chosen, idx)
+	if at < len(sc.chosen) && sc.chosen[at] == idx {
+		return
+	}
+	sc.chosen = append(sc.chosen, 0)
+	copy(sc.chosen[at+1:], sc.chosen[at:])
+	sc.chosen[at] = idx
+}
+
+// sampleRowITS is SampleRowITS over caller-owned scratch. The drawn
+// variate sequence, the op accounting and the returned picks are
+// identical to the historical map-based implementation (the selection
+// set is sorted on return either way).
+func sampleRowITS(weights []float64, s int, rng FloatRNG, sc *itsScratch) (picks []int, ops int64) {
 	nnz := len(weights)
 	if nnz == 0 || s <= 0 {
 		return nil, 0
@@ -35,7 +76,11 @@ func SampleRowITS(weights []float64, s int, rng *rand.Rand) (picks []int, ops in
 	}
 
 	// Prefix sum.
-	prefix := make([]float64, nnz+1)
+	if cap(sc.prefix) < nnz+1 {
+		sc.prefix = make([]float64, nnz+1)
+	}
+	prefix := sc.prefix[:nnz+1]
+	prefix[0] = 0
 	for i, w := range weights {
 		if w < 0 || math.IsNaN(w) {
 			panic("core: negative or NaN sampling weight")
@@ -48,10 +93,10 @@ func SampleRowITS(weights []float64, s int, rng *rand.Rand) (picks []int, ops in
 		return nil, ops
 	}
 
-	chosen := make(map[int]struct{}, s)
+	sc.chosen = sc.chosen[:0]
 	maxTries := 8*s + 32
 	tries := 0
-	for len(chosen) < s && tries < maxTries {
+	for len(sc.chosen) < s && tries < maxTries {
 		tries++
 		u := rng.Float64() * total
 		// Find the first prefix boundary exceeding u.
@@ -64,39 +109,50 @@ func SampleRowITS(weights []float64, s int, rng *rand.Rand) (picks []int, ops in
 			continue
 		}
 		ops += int64(math.Ilogb(float64(nnz))) + 1
-		chosen[idx] = struct{}{}
+		sc.insertChosen(idx)
 	}
 
-	if len(chosen) < s {
+	if len(sc.chosen) < s {
 		// Fallback: exponential-key weighted order statistics. Exact
 		// without-replacement semantics at O(nnz log nnz).
-		type keyed struct {
-			key float64
-			idx int
-		}
-		ks := make([]keyed, 0, nnz)
+		ks := sc.keyed[:0]
 		for i, w := range weights {
 			if w <= 0 {
 				continue
 			}
-			ks = append(ks, keyed{key: -math.Log(rng.Float64()) / w, idx: i})
+			ks = append(ks, itsKeyed{key: -math.Log(rng.Float64()) / w, idx: i})
 		}
 		sort.Slice(ks, func(a, b int) bool { return ks[a].key < ks[b].key })
 		ops += int64(len(ks)) * 2
 		for _, kv := range ks {
-			if len(chosen) == s {
+			if len(sc.chosen) == s {
 				break
 			}
-			chosen[kv.idx] = struct{}{}
+			sc.insertChosen(kv.idx)
 		}
+		sc.keyed = ks[:0]
 	}
 
-	picks = make([]int, 0, len(chosen))
-	for i := range chosen {
-		picks = append(picks, i)
-	}
-	sort.Ints(picks)
+	picks = make([]int, len(sc.chosen))
+	copy(picks, sc.chosen)
 	return picks, ops
+}
+
+// RowSampler batches per-row ITS sampling over one reused RNG and
+// scratch set: Sample(weights, s, seed, row) is exactly
+// SampleRowITS(weights, s, NewRowRNG(seed, row)) — same draws, same
+// ops, same picks — without the per-row source seeding and buffer
+// allocations that dominated bulk-sampling CPU time.
+type RowSampler struct {
+	rng RowRNG
+	sc  itsScratch
+}
+
+// Sample draws min(s, nnz) distinct indices for one row. See
+// SampleRowITS for semantics.
+func (rs *RowSampler) Sample(weights []float64, s int, seed int64, row int) (picks []int, ops int64) {
+	rs.rng.Reseed(rowSeed(seed, row))
+	return sampleRowITS(weights, s, &rs.rng, &rs.sc)
 }
 
 // rowSeed derives a per-row RNG seed so sampling is deterministic
@@ -117,7 +173,7 @@ func NewRowRNG(seed int64, row int) *rand.Rand {
 // SampleRowITSReplacement draws s indices with replacement — the
 // variant some frameworks use when a vertex's degree is below the
 // fanout. Returned indices may repeat and preserve draw order.
-func SampleRowITSReplacement(weights []float64, s int, rng *rand.Rand) (picks []int, ops int64) {
+func SampleRowITSReplacement(weights []float64, s int, rng FloatRNG) (picks []int, ops int64) {
 	nnz := len(weights)
 	if nnz == 0 || s <= 0 {
 		return nil, 0

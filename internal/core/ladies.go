@@ -166,10 +166,10 @@ func SampleLayerwiseProbs(p *sparse.CSR, s int, seed int64) ([][]int, [][]float6
 	var cost Cost
 	sampled := make([][]int, p.Rows)
 	probs := make([][]float64, p.Rows)
+	var rs RowSampler
 	for b := 0; b < p.Rows; b++ {
 		cols, vals := p.Row(b)
-		rng := NewRowRNG(seed, b)
-		sel, ops := SampleRowITS(vals, s, rng)
+		sel, ops := rs.Sample(vals, s, seed, b)
 		cost.SampleOps += ops
 		sv := make([]int, len(sel))
 		pv := make([]float64, len(sel))

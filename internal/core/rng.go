@@ -1,0 +1,139 @@
+package core
+
+// RowRNG is a reusable, allocation-free generator producing exactly
+// the value stream of math/rand.New(rand.NewSource(seed)) — the
+// Mitchell–Reeds additive lagged-Fibonacci source behind the paper's
+// deterministic per-row sampling — but with O(draws) reseeding instead
+// of O(rngLen) per seed.
+//
+// math/rand's Seed walks a 607-entry feedback register through ~1800
+// sequential LCG steps even when the caller consumes a dozen variates,
+// and rand.New allocates the 5KB register on every call; with one
+// fresh RNG per sampled frontier row (NewRowRNG), source seeding was
+// ~40% of end-to-end simulation CPU and the largest allocation site.
+// RowRNG instead records the seed and materializes register entries
+// lazily on first read: the LCG is x[n+1] = 48271·x[n] mod (2³¹−1),
+// so entry i — a function of LCG steps 21+3i..23+3i — is reachable
+// directly by jump-ahead through a precomputed power table
+// (x[n] = 48271ⁿ·x[0] mod M, with Mersenne-prime reduction for the
+// modular products). A generation stamp per entry makes Reseed O(1);
+// a typical fanout-sized row touches ~2 entries per draw instead of
+// seeding all 607.
+//
+// Stream equality with math/rand is pinned by TestRowRNGMatchesMathRand
+// across seeds, reseeds and draw counts that cross the register's
+// wrap-around boundaries.
+type RowRNG struct {
+	x0    int32  // normalized LCG seed state
+	gen   uint32 // current reseed generation
+	tap   int
+	feed  int
+	vec   [rngLen]int64  // feedback register (entries valid iff stamped)
+	stamp [rngLen]uint32 // generation that materialized each entry
+}
+
+const (
+	rngLen   = 607
+	rngTap   = 273
+	rngMask  = 1<<63 - 1
+	int32max = 1<<31 - 1
+
+	lcgA = 48271
+)
+
+// lcgPow[n] is 48271ⁿ mod (2³¹−1) for every LCG step index the seeding
+// schedule can need (20 warm-up steps plus 3 per register entry, and
+// one extra so index 23+3·606 stays in range).
+var lcgPow = func() [3*rngLen + 21]uint64 {
+	var p [3*rngLen + 21]uint64
+	p[0] = 1
+	for i := 1; i < len(p); i++ {
+		p[i] = mulmod31(p[i-1], lcgA)
+	}
+	return p
+}()
+
+// mulmod31 returns a·b mod (2³¹−1) for a, b < 2³¹ using the
+// Mersenne-prime folding reduction (no division).
+func mulmod31(a, b uint64) uint64 {
+	v := a * b
+	v = (v & int32max) + (v >> 31)
+	if v >= int32max {
+		v -= int32max
+	}
+	return v
+}
+
+// Reseed re-initializes the generator to the exact state of
+// math/rand.NewSource(seed) in O(1): no register entry is computed
+// until a draw reads it.
+func (r *RowRNG) Reseed(seed int64) {
+	seed = seed % int32max
+	if seed < 0 {
+		seed += int32max
+	}
+	if seed == 0 {
+		seed = 89482311
+	}
+	r.x0 = int32(seed)
+	r.tap = 0
+	r.feed = rngLen - rngTap
+	r.gen++
+	if r.gen == 0 { // generation counter wrapped: invalidate explicitly
+		r.stamp = [rngLen]uint32{}
+		r.gen = 1
+	}
+}
+
+// entry returns register entry i, materializing the pristine seeded
+// value by LCG jump-ahead on first access in this generation.
+func (r *RowRNG) entry(i int) int64 {
+	if r.stamp[i] == r.gen {
+		return r.vec[i]
+	}
+	// Seeding computes entry i from LCG steps 21+3i, 22+3i, 23+3i
+	// (20 warm-up steps precede entry 0, and each iteration advances
+	// once before producing).
+	x := mulmod31(lcgPow[21+3*i], uint64(r.x0))
+	u := int64(x) << 40
+	x = mulmod31(x, lcgA)
+	u ^= int64(x) << 20
+	x = mulmod31(x, lcgA)
+	u ^= int64(x)
+	u ^= rngCooked[i]
+	r.vec[i] = u
+	r.stamp[i] = r.gen
+	return u
+}
+
+// Uint64 returns the next raw feedback-register output, identical to
+// math/rand's rngSource.Uint64.
+func (r *RowRNG) Uint64() uint64 {
+	r.tap--
+	if r.tap < 0 {
+		r.tap += rngLen
+	}
+	r.feed--
+	if r.feed < 0 {
+		r.feed += rngLen
+	}
+	x := r.entry(r.feed) + r.entry(r.tap)
+	r.vec[r.feed] = x
+	r.stamp[r.feed] = r.gen
+	return uint64(x)
+}
+
+// Int63 returns a non-negative 63-bit integer, identical to
+// math/rand.Rand.Int63 over the same source.
+func (r *RowRNG) Int63() int64 { return int64(r.Uint64() & rngMask) }
+
+// Float64 returns a uniform variate in [0, 1), reproducing
+// math/rand.Rand.Float64's stream including its redraw-on-1.0 quirk.
+func (r *RowRNG) Float64() float64 {
+	for {
+		f := float64(r.Int63()) / (1 << 63)
+		if f != 1 {
+			return f
+		}
+	}
+}

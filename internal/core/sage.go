@@ -59,12 +59,13 @@ func (sg SAGE) FinishStep(p *sparse.CSR, cur *Frontier, s int, seed int64) (*Lay
 	cost.Kernels++
 
 	// SAMPLE: ITS per row. picks[i] holds the sampled global vertex
-	// ids of frontier row i, in row-sorted order.
+	// ids of frontier row i, in row-sorted order. One RowSampler reuses
+	// the RNG register and ITS scratch across all rows.
 	picks := make([][]int, p.Rows)
+	var rs RowSampler
 	for i := 0; i < p.Rows; i++ {
 		cols, vals := p.Row(i)
-		rng := NewRowRNG(seed, i)
-		sel, ops := SampleRowITS(vals, s, rng)
+		sel, ops := rs.Sample(vals, s, seed, i)
 		cost.SampleOps += ops
 		pk := make([]int, len(sel))
 		for j, t := range sel {

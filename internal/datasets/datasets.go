@@ -30,6 +30,12 @@ const (
 	// Bench is for the experiment harness: tens to hundreds of
 	// thousands of vertices, preserving the paper's density ratios.
 	Bench
+	// Scale is for the scaling experiment: a modest graph with many
+	// small batches (512 per epoch), so weak scaling has at least one
+	// batch per rank all the way to p=512 while a single simulated
+	// epoch stays cheap enough to sweep GPU counts, algorithms,
+	// collective schedules and topologies in one run.
+	Scale
 )
 
 func (p Profile) String() string {
@@ -40,6 +46,8 @@ func (p Profile) String() string {
 		return "small"
 	case Bench:
 		return "bench"
+	case Scale:
+		return "scale"
 	}
 	return fmt.Sprintf("profile(%d)", int(p))
 }
@@ -89,16 +97,19 @@ var presets = map[string]map[Profile]preset{
 		Tiny:  {scale: 8, edgeFactor: 8, features: 8, batchSize: 16, numBatches: 4, fanouts: []int{5, 3}, layerWidth: 16},
 		Small: {scale: 12, edgeFactor: 27, features: 16, batchSize: 64, numBatches: 8, fanouts: []int{10, 5, 3}, layerWidth: 64},
 		Bench: {scale: 15, edgeFactor: 53, features: 32, batchSize: 64, numBatches: 96, fanouts: []int{10, 5, 3}, layerWidth: 64},
+		Scale: {scale: 14, edgeFactor: 8, features: 8, batchSize: 16, numBatches: 512, fanouts: []int{5, 3}, layerWidth: 16},
 	},
 	"protein": {
 		Tiny:  {scale: 8, edgeFactor: 16, features: 8, batchSize: 16, numBatches: 4, fanouts: []int{5, 3}, layerWidth: 16},
 		Small: {scale: 12, edgeFactor: 60, features: 16, batchSize: 64, numBatches: 8, fanouts: []int{10, 5, 3}, layerWidth: 64},
 		Bench: {scale: 15, edgeFactor: 120, features: 32, batchSize: 64, numBatches: 192, fanouts: []int{10, 5, 3}, layerWidth: 64},
+		Scale: {scale: 14, edgeFactor: 16, features: 8, batchSize: 16, numBatches: 512, fanouts: []int{5, 3}, layerWidth: 16},
 	},
 	"papers": {
 		Tiny:  {scale: 8, edgeFactor: 4, features: 8, batchSize: 16, numBatches: 4, fanouts: []int{5, 3}, layerWidth: 16},
 		Small: {scale: 12, edgeFactor: 15, features: 16, batchSize: 64, numBatches: 8, fanouts: []int{10, 5, 3}, layerWidth: 64},
 		Bench: {scale: 17, edgeFactor: 29, features: 32, batchSize: 64, numBatches: 256, fanouts: []int{10, 5, 3}, layerWidth: 64},
+		Scale: {scale: 14, edgeFactor: 4, features: 8, batchSize: 16, numBatches: 512, fanouts: []int{5, 3}, layerWidth: 16},
 	},
 }
 

@@ -85,13 +85,43 @@ func MatMul(a, b *Matrix) (*Matrix, int64) {
 		for i := lo; i < hi; i++ {
 			ci := c.Data[i*c.Cols : (i+1)*c.Cols]
 			ai := a.Data[i*a.Cols : (i+1)*a.Cols]
-			for k, av := range ai {
-				if av == 0 {
+			// Pairs of k share one pass over ci. Each ci[j] still
+			// accumulates its terms in ascending-k order — (c+x)+y is
+			// the same schedule whether the adds sit in one loop body
+			// or two — so results are bit-identical to the scalar
+			// loop; the zero-skip short-circuits are kept exact too.
+			k := 0
+			for ; k+1 < len(ai); k += 2 {
+				a0, a1 := ai[k], ai[k+1]
+				if a0 == 0 && a1 == 0 {
 					continue
 				}
-				bk := b.Data[k*b.Cols : (k+1)*b.Cols]
-				for j := range ci {
-					ci[j] += av * bk[j]
+				b0 := b.Data[k*b.Cols : (k+1)*b.Cols]
+				b1 := b.Data[(k+1)*b.Cols : (k+2)*b.Cols]
+				switch {
+				case a1 == 0:
+					for j := range ci {
+						ci[j] += a0 * b0[j]
+					}
+				case a0 == 0:
+					for j := range ci {
+						ci[j] += a1 * b1[j]
+					}
+				default:
+					b1 := b1[:len(b0)]
+					for j := range ci {
+						// Left-associated: (c + a0·b0) + a1·b1, the
+						// scalar loop's exact schedule.
+						ci[j] = ci[j] + a0*b0[j] + a1*b1[j]
+					}
+				}
+			}
+			if k < len(ai) {
+				if av := ai[k]; av != 0 {
+					bk := b.Data[k*b.Cols : (k+1)*b.Cols]
+					for j := range ci {
+						ci[j] += av * bk[j]
+					}
 				}
 			}
 		}
@@ -109,7 +139,25 @@ func MatMulT(a, b *Matrix) (*Matrix, int64) {
 		for i := lo; i < hi; i++ {
 			ai := a.Data[i*a.Cols : (i+1)*a.Cols]
 			ci := c.Data[i*c.Cols : (i+1)*c.Cols]
-			for j := 0; j < b.Rows; j++ {
+			// Two output columns per pass: the dot-product chains of
+			// ci[j] and ci[j+1] are independent accumulators, so
+			// interleaving them doubles ILP on the serial FP-add
+			// chain while each chain keeps its exact k-order.
+			j := 0
+			for ; j+1 < b.Rows; j += 2 {
+				b0 := b.Data[j*b.Cols : (j+1)*b.Cols]
+				b1 := b.Data[(j+1)*b.Cols : (j+2)*b.Cols]
+				b1 = b1[:len(b0)]
+				s0, s1 := 0.0, 0.0
+				for k := range ai {
+					av := ai[k]
+					s0 += av * b0[k]
+					s1 += av * b1[k]
+				}
+				ci[j] = s0
+				ci[j+1] = s1
+			}
+			if j < b.Rows {
 				bj := b.Data[j*b.Cols : (j+1)*b.Cols]
 				s := 0.0
 				for k := range ai {
@@ -129,8 +177,40 @@ func TMatMul(a, b *Matrix) (*Matrix, int64) {
 	}
 	c := New(a.Cols, b.Cols)
 	// Serial accumulation: output is small (feature x feature) in GNN
-	// training, while a.Rows (the batch dimension) is large.
-	for i := 0; i < a.Rows; i++ {
+	// training, while a.Rows (the batch dimension) is large. Row pairs
+	// share one pass over each ck stripe; for a fixed (k, j) the adds
+	// still land in ascending-i order — (c + xᵢ) + xᵢ₊₁ left-associated
+	// — so the result is bit-identical to the row-at-a-time loop.
+	i := 0
+	for ; i+1 < a.Rows; i += 2 {
+		a0 := a.Data[i*a.Cols : (i+1)*a.Cols]
+		a1 := a.Data[(i+1)*a.Cols : (i+2)*a.Cols]
+		b0 := b.Data[i*b.Cols : (i+1)*b.Cols]
+		b1 := b.Data[(i+1)*b.Cols : (i+2)*b.Cols]
+		b1 = b1[:len(b0)]
+		for k := range a0 {
+			v0, v1 := a0[k], a1[k]
+			if v0 == 0 && v1 == 0 {
+				continue
+			}
+			ck := c.Data[k*c.Cols : (k+1)*c.Cols]
+			switch {
+			case v1 == 0:
+				for j := range b0 {
+					ck[j] += v0 * b0[j]
+				}
+			case v0 == 0:
+				for j := range b1 {
+					ck[j] += v1 * b1[j]
+				}
+			default:
+				for j := range b0 {
+					ck[j] = ck[j] + v0*b0[j] + v1*b1[j]
+				}
+			}
+		}
+	}
+	if i < a.Rows {
 		ai := a.Data[i*a.Cols : (i+1)*a.Cols]
 		bi := b.Data[i*b.Cols : (i+1)*b.Cols]
 		for k, av := range ai {

@@ -55,37 +55,65 @@ func ReadCSR(r io.Reader) (*sparse.CSR, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows, cols, nnz := int(dims[0]), int(dims[1]), int(dims[2])
-	if rows < 0 || cols < 0 || nnz < 0 {
+	rows64, cols64, nnz64 := dims[0], dims[1], dims[2]
+	// Bounds-check the header before trusting it with allocations: a
+	// hostile or corrupted header must fail cleanly, not ask the
+	// runtime for petabytes (fuzz-pinned).
+	if rows64 < 0 || cols64 < 0 || nnz64 < 0 {
 		return nil, fmt.Errorf("graphio: negative dimensions in header")
 	}
+	if rows64 > maxWireElems || cols64 > maxWireElems || nnz64 > maxWireElems {
+		return nil, fmt.Errorf("graphio: implausible matrix header %dx%d nnz=%d", rows64, cols64, nnz64)
+	}
+	rows, cols, nnz := int(rows64), int(cols64), int(nnz64)
 	m := &sparse.CSR{Rows: rows, Cols: cols,
-		RowPtr: make([]int, rows+1), ColIdx: make([]int, nnz), Val: make([]float64, nnz)}
-	for i := range m.RowPtr {
+		RowPtr: make([]int, 0, capHint(rows+1)), ColIdx: make([]int, 0, capHint(nnz)),
+		Val: make([]float64, 0, capHint(nnz))}
+	for i := 0; i <= rows; i++ {
 		v, err := readInts(r, 1)
 		if err != nil {
 			return nil, err
 		}
-		m.RowPtr[i] = int(v[0])
+		m.RowPtr = append(m.RowPtr, int(v[0]))
 	}
-	for i := range m.ColIdx {
+	for i := 0; i < nnz; i++ {
 		v, err := readInts(r, 1)
 		if err != nil {
 			return nil, err
 		}
-		m.ColIdx[i] = int(v[0])
+		m.ColIdx = append(m.ColIdx, int(v[0]))
 	}
-	for i := range m.Val {
-		var bits uint64
-		if err := binary.Read(r, binary.LittleEndian, &bits); err != nil {
+	buf := make([]byte, 8)
+	for i := 0; i < nnz; i++ {
+		if _, err := io.ReadFull(r, buf); err != nil {
 			return nil, err
 		}
-		m.Val[i] = math.Float64frombits(bits)
+		m.Val = append(m.Val, math.Float64frombits(binary.LittleEndian.Uint64(buf)))
 	}
 	if err := m.Validate(); err != nil {
 		return nil, fmt.Errorf("graphio: loaded matrix invalid: %w", err)
 	}
 	return m, nil
+}
+
+// maxWireElems bounds any single on-wire element count (rows, columns,
+// nonzeros, slice lengths): far above every legitimate profile, far
+// below anything that could exhaust memory on its own.
+const maxWireElems = 1 << 31
+
+// capHint bounds a pre-allocation capacity for an on-wire count:
+// trust small claims (one allocation), grow incrementally for large
+// ones so a lying header costs at most the input's actual length in
+// reads, never an up-front giant allocation.
+func capHint(n int) int {
+	const limit = 1 << 16
+	if n > limit {
+		return limit
+	}
+	if n < 0 {
+		return 0
+	}
+	return n
 }
 
 // WriteDense writes a dense matrix.
@@ -109,19 +137,26 @@ func ReadDense(r io.Reader) (*dense.Matrix, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows, cols := int(dims[0]), int(dims[1])
-	if rows < 0 || cols < 0 || rows*cols < 0 {
-		return nil, fmt.Errorf("graphio: bad dense dimensions %dx%d", rows, cols)
+	// Check each dimension and the product before allocating: a hostile
+	// header must not overflow rows*cols into a small positive count or
+	// demand a giant up-front allocation (fuzz-pinned).
+	if dims[0] < 0 || dims[1] < 0 || dims[0] > maxWireElems || dims[1] > maxWireElems {
+		return nil, fmt.Errorf("graphio: bad dense dimensions %dx%d", dims[0], dims[1])
 	}
-	m := dense.New(rows, cols)
+	rows, cols := int(dims[0]), int(dims[1])
+	total := dims[0] * dims[1]
+	if total > maxWireElems {
+		return nil, fmt.Errorf("graphio: implausible dense payload %dx%d", rows, cols)
+	}
+	data := make([]float64, 0, capHint(int(total)))
 	buf := make([]byte, 8)
-	for i := range m.Data {
+	for i := int64(0); i < total; i++ {
 		if _, err := io.ReadFull(r, buf); err != nil {
 			return nil, err
 		}
-		m.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+		data = append(data, math.Float64frombits(binary.LittleEndian.Uint64(buf)))
 	}
-	return m, nil
+	return dense.FromSlice(rows, cols, data), nil
 }
 
 // WriteDataset serializes a full dataset.
@@ -179,6 +214,11 @@ func ReadDataset(r io.Reader) (*datasets.Dataset, error) {
 	adj, err := ReadCSR(br)
 	if err != nil {
 		return nil, err
+	}
+	if adj.Rows != adj.Cols {
+		// graph.New panics on non-square adjacency; a corrupted file
+		// must fail as an error instead (fuzz-pinned).
+		return nil, fmt.Errorf("graphio: adjacency must be square, got %dx%d", adj.Rows, adj.Cols)
 	}
 	feats, err := ReadDense(br)
 	if err != nil {
@@ -254,16 +294,18 @@ func readIntSlice(r io.Reader) ([]int, error) {
 	if err != nil {
 		return nil, err
 	}
-	if n[0] < 0 || n[0] > 1<<40 {
+	if n[0] < 0 || n[0] > maxWireElems {
 		return nil, fmt.Errorf("graphio: implausible slice length %d", n[0])
 	}
-	vals, err := readInts(r, int(n[0]))
-	if err != nil {
-		return nil, err
-	}
-	out := make([]int, len(vals))
-	for i, v := range vals {
-		out[i] = int(v)
+	// Incremental growth: a lying length costs at most the input's
+	// real size in reads, never an up-front giant allocation.
+	out := make([]int, 0, capHint(int(n[0])))
+	buf := make([]byte, 8)
+	for i := int64(0); i < n[0]; i++ {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		out = append(out, int(int64(binary.LittleEndian.Uint64(buf))))
 	}
 	return out, nil
 }
@@ -324,16 +366,16 @@ func ReadParams(r io.Reader) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	if n[0] < 0 || n[0] > 1<<32 {
+	if n[0] < 0 || n[0] > maxWireElems {
 		return nil, fmt.Errorf("graphio: implausible parameter count %d", n[0])
 	}
-	out := make([]float64, n[0])
+	out := make([]float64, 0, capHint(int(n[0])))
 	buf := make([]byte, 8)
-	for i := range out {
+	for i := int64(0); i < n[0]; i++ {
 		if _, err := io.ReadFull(br, buf); err != nil {
 			return nil, err
 		}
-		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+		out = append(out, math.Float64frombits(binary.LittleEndian.Uint64(buf)))
 	}
 	return out, nil
 }

@@ -16,10 +16,6 @@ func SpGEMM(a, b *CSR) (c *CSR, flops int64) {
 		panic(fmt.Sprintf("sparse: SpGEMM dimension mismatch %dx%d * %dx%d",
 			a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	rowResults := make([][]int, a.Rows) // column indices per output row
-	valResults := make([][]float64, a.Rows)
-	flopsPer := make([]int64, a.Rows)
-
 	workers := runtime.GOMAXPROCS(0)
 	if workers > a.Rows {
 		workers = a.Rows
@@ -27,52 +23,90 @@ func SpGEMM(a, b *CSR) (c *CSR, flops int64) {
 	if workers < 1 {
 		workers = 1
 	}
-	var wg sync.WaitGroup
+	// Each worker drains its rows into one growing arena instead of a
+	// pair of fresh slices per row: the two allocations per output row
+	// were among the simulator's top allocation sites.
+	type arena struct {
+		lo, hi int
+		cols   []int
+		vals   []float64
+		ends   []int // arena offset of each row's end, relative to lo
+		flops  int64
+	}
 	chunk := (a.Rows + workers - 1) / workers
+	arenas := make([]arena, 0, workers)
 	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
+		lo, hi := w*chunk, (w+1)*chunk
 		if hi > a.Rows {
 			hi = a.Rows
 		}
 		if lo >= hi {
 			break
 		}
+		// The flop count bounds the arena's output size (collisions
+		// only shrink it), so one up-front sizing pass over the row
+		// pointers avoids every growth reallocation.
+		bound := 0
+		for i := lo; i < hi; i++ {
+			acols, _ := a.Row(i)
+			for _, arow := range acols {
+				bound += b.RowNNZ(arow)
+			}
+		}
+		// bound is also the arena's exact flop count: one multiply-add
+		// per (a-nonzero, b-row-nonzero) pair.
+		arenas = append(arenas, arena{lo: lo, hi: hi, flops: int64(bound),
+			cols: make([]int, 0, bound), vals: make([]float64, 0, bound),
+			ends: make([]int, 0, hi-lo)})
+	}
+	var wg sync.WaitGroup
+	for w := range arenas {
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(ar *arena) {
 			defer wg.Done()
 			acc := newSPA(b.Cols)
-			for i := lo; i < hi; i++ {
-				var fl int64
+			for i := ar.lo; i < ar.hi; i++ {
 				acols, avals := a.Row(i)
 				for k := range acols {
-					arow := acols[k]
 					av := avals[k]
-					bcols, bvals := b.Row(arow)
+					bcols, bvals := b.Row(acols[k])
 					for t := range bcols {
 						acc.add(bcols[t], av*bvals[t])
 					}
-					fl += int64(len(bcols))
 				}
-				rowResults[i], valResults[i] = acc.drain()
-				flopsPer[i] = fl
+				ar.cols, ar.vals = acc.drainInto(ar.cols, ar.vals)
+				ar.ends = append(ar.ends, len(ar.cols))
 			}
-		}(lo, hi)
+		}(&arenas[w])
 	}
 	wg.Wait()
 
-	out := &CSR{Rows: a.Rows, Cols: b.Cols, RowPtr: make([]int, a.Rows+1)}
 	total := 0
-	for i := 0; i < a.Rows; i++ {
-		total += len(rowResults[i])
-		flops += flopsPer[i]
+	for w := range arenas {
+		total += len(arenas[w].cols)
+		flops += arenas[w].flops
 	}
-	out.ColIdx = make([]int, 0, total)
-	out.Val = make([]float64, 0, total)
-	for i := 0; i < a.Rows; i++ {
-		out.ColIdx = append(out.ColIdx, rowResults[i]...)
-		out.Val = append(out.Val, valResults[i]...)
-		out.RowPtr[i+1] = out.RowPtr[i] + len(rowResults[i])
+	if len(arenas) == 1 {
+		// Single worker (small input or GOMAXPROCS=1): adopt the arena
+		// wholesale instead of copying it into a fresh matrix.
+		ar := &arenas[0]
+		out := &CSR{Rows: a.Rows, Cols: b.Cols, RowPtr: make([]int, a.Rows+1),
+			ColIdx: ar.cols, Val: ar.vals}
+		for r, end := range ar.ends {
+			out.RowPtr[r+1] = end
+		}
+		return out, flops
+	}
+	out := &CSR{Rows: a.Rows, Cols: b.Cols, RowPtr: make([]int, a.Rows+1),
+		ColIdx: make([]int, 0, total), Val: make([]float64, 0, total)}
+	for w := range arenas {
+		ar := &arenas[w]
+		base := len(out.ColIdx)
+		out.ColIdx = append(out.ColIdx, ar.cols...)
+		out.Val = append(out.Val, ar.vals...)
+		for r, end := range ar.ends {
+			out.RowPtr[ar.lo+r+1] = base + end
+		}
 	}
 	return out, flops
 }
@@ -110,17 +144,15 @@ func (s *spa) add(j int, v float64) {
 	s.val[j] += v
 }
 
-// drain returns the accumulated (sorted) columns and values and resets
-// the accumulator.
-func (s *spa) drain() ([]int, []float64) {
-	if len(s.idx) == 0 {
-		return nil, nil
-	}
-	cols := append([]int(nil), s.idx...)
-	insertionSort(cols)
-	vals := make([]float64, len(cols))
-	for k, j := range cols {
-		vals[k] = s.val[j]
+// drainInto appends the accumulated (sorted) columns and values to the
+// given buffers and resets the accumulator — the allocation-free form
+// SpGEMM's per-worker arenas use.
+func (s *spa) drainInto(cols []int, vals []float64) ([]int, []float64) {
+	base := len(cols)
+	cols = append(cols, s.idx...)
+	insertionSort(cols[base:])
+	for _, j := range cols[base:] {
+		vals = append(vals, s.val[j])
 		s.val[j] = 0
 		s.present[j] = false
 	}

@@ -31,12 +31,15 @@
 package repro
 
 import (
+	"fmt"
 	"io"
+	"os"
 
 	"repro/internal/autotune"
 	"repro/internal/baseline"
 	"repro/internal/bench"
 	"repro/internal/cache"
+	"repro/internal/cliutil"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/datasets"
@@ -101,6 +104,9 @@ const (
 	Tiny  = datasets.Tiny
 	Small = datasets.Small
 	Bench = datasets.Bench
+	// Scale is the scaling-study profile: many small batches so weak
+	// scaling keeps one batch per rank all the way to p=512.
+	Scale = datasets.Scale
 )
 
 // Training algorithm selectors.
@@ -255,6 +261,48 @@ func CollectiveComparison(w io.Writer, o ExperimentOptions) ([]bench.CollectiveR
 // per-physical-link utilization.
 func ContentionExperiment(w io.Writer, o ExperimentOptions) ([]bench.ContentionRow, error) {
 	return bench.Contention(w, o)
+}
+
+// ScalingStudy runs the weak- and strong-scaling experiment to p=512:
+// both distributed algorithms, each all-reduce schedule, ideal and
+// oversubscribed topologies. Use the Scale profile for meaningful weak
+// scaling (one batch per rank at every p).
+func ScalingStudy(w io.Writer, o ExperimentOptions) ([]bench.ScalingRow, error) {
+	return bench.Scaling(w, o)
+}
+
+// PerfSuite measures the simulator's own performance on the pinned
+// workload matrix (wall-clock, allocations, contention-ledger peak);
+// CI gates regressions against the committed BENCH_*.json baseline
+// (see PerfGate and ROADMAP.md for the baseline convention).
+func PerfSuite(w io.Writer, o ExperimentOptions) ([]bench.PerfRow, error) {
+	return bench.Perf(w, o)
+}
+
+// PerfGate compares measured perf rows against a committed baseline
+// file, failing on >25% wall-time regression, allocation growth, or
+// simulated-seconds drift.
+func PerfGate(w io.Writer, baselinePath string, rows []bench.PerfRow) error {
+	return bench.PerfGate(w, baselinePath, rows)
+}
+
+// ProfileFromEnv returns the dataset profile named by the
+// GNN_EXAMPLE_PROFILE environment variable ("tiny", "small", "scale",
+// "bench"), or def when the variable is unset. The examples/*
+// walkthroughs size themselves through it so the CI smoke can run
+// every walkthrough at the tiny profile; an unknown value panics
+// (misconfigured CI should fail loudly, not silently run a bigger
+// profile).
+func ProfileFromEnv(def Profile) Profile {
+	s := os.Getenv("GNN_EXAMPLE_PROFILE")
+	if s == "" {
+		return def
+	}
+	p, err := cliutil.ParseProfile(s)
+	if err != nil {
+		panic(fmt.Sprintf("repro: GNN_EXAMPLE_PROFILE: %v", err))
+	}
+	return p
 }
 
 // Table2 prints the system capability matrix.
