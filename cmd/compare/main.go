@@ -30,6 +30,7 @@ func main() {
 		allreduce = flag.String("allreduce", "default", cluster.AllReduceFlagUsage)
 		alltoall  = flag.String("alltoall", "default", cluster.AllToAllFlagUsage)
 		topology  = flag.String("topology", "ideal", cluster.TopologyFlagUsage)
+		backend   = flag.String("backend", "default", cluster.BackendFlagUsage)
 	)
 	flag.Parse()
 
@@ -38,6 +39,10 @@ func main() {
 		fatal(err)
 	}
 	topo, err := cluster.ParseTopology(*topology)
+	if err != nil {
+		fatal(err)
+	}
+	be, err := cluster.ParseBackend(*backend)
 	if err != nil {
 		fatal(err)
 	}
@@ -61,7 +66,7 @@ func main() {
 	}
 
 	ours, err := pipeline.Run(d, pipeline.Config{
-		P: *p, C: c, K: k, MaxBatches: *maxB, Seed: *seed, Collectives: coll, Topology: topo})
+		P: *p, C: c, K: k, MaxBatches: *maxB, Seed: *seed, Collectives: coll, Topology: topo, Backend: be})
 	if err != nil {
 		fatal(err)
 	}
@@ -69,7 +74,7 @@ func main() {
 
 	over, err := pipeline.Run(d, pipeline.Config{
 		P: *p, C: c, K: maxInt(d.NumBatches()/4, *p), MaxBatches: *maxB, Seed: *seed, Overlap: true,
-		Collectives: coll, Topology: topo})
+		Collectives: coll, Topology: topo, Backend: be})
 	if err != nil {
 		fatal(err)
 	}
@@ -79,7 +84,7 @@ func main() {
 		part, err := pipeline.Run(d, pipeline.Config{
 			P: *p, C: 2, K: k, MaxBatches: *maxB, Seed: *seed,
 			Algorithm: pipeline.GraphPartitioned, SparsityAware: true, Collectives: coll,
-			Topology: topo})
+			Topology: topo, Backend: be})
 		if err != nil {
 			fatal(err)
 		}
@@ -87,14 +92,14 @@ func main() {
 	}
 
 	quiver, err := baseline.RunQuiver(d, baseline.QuiverConfig{
-		P: *p, MaxBatches: *maxB, Seed: *seed, Collectives: coll, Topology: topo})
+		P: *p, MaxBatches: *maxB, Seed: *seed, Collectives: coll, Topology: topo, Backend: be})
 	if err != nil {
 		fatal(err)
 	}
 	row("quiver strategy (GPU)", quiver.LastEpoch())
 
 	uva, err := baseline.RunQuiver(d, baseline.QuiverConfig{
-		P: *p, UVA: true, MaxBatches: *maxB, Seed: *seed, Collectives: coll, Topology: topo})
+		P: *p, UVA: true, MaxBatches: *maxB, Seed: *seed, Collectives: coll, Topology: topo, Backend: be})
 	if err != nil {
 		fatal(err)
 	}
@@ -108,6 +113,7 @@ func main() {
 	model := cluster.Perlmutter()
 	model.Collectives = coll
 	model.Topology = topo
+	model.Backend = be
 	cl := cluster.New(*p, model)
 	world := cl.World()
 	oneD := distsample.NewOneDSet(*p, d.Graph.Adj)

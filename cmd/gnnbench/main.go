@@ -31,6 +31,7 @@ func main() {
 		allreduce  = flag.String("allreduce", "default", cluster.AllReduceFlagUsage+" (the collectives and tprob experiments sweep their algorithm sets regardless)")
 		alltoall   = flag.String("alltoall", "default", cluster.AllToAllFlagUsage)
 		topology   = flag.String("topology", "ideal", cluster.TopologyFlagUsage+" (the contention experiment sweeps its topology set regardless)")
+		backend    = flag.String("backend", "default", cluster.BackendFlagUsage)
 		perfOut    = flag.String("perfout", "", "perf experiment: write the measured rows as a new baseline file (BENCH_*.json)")
 		perfBase   = flag.String("perfbaseline", "", "perf experiment: compare against this committed baseline and fail on >25% wall-time regression")
 	)
@@ -48,8 +49,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	be, err := cluster.ParseBackend(*backend)
+	if err != nil {
+		fatal(err)
+	}
 	opts := bench.Options{Profile: prof, MaxBatches: *maxBatches, Seed: *seed, Overlap: *overlap,
-		Collectives: coll, Topology: topo}
+		Collectives: coll, Topology: topo, Backend: be}
 	if *gpus != "" {
 		counts, err := cliutil.ParseGPUCounts(*gpus)
 		if err != nil {
@@ -65,6 +70,7 @@ func main() {
 		"allreduce":  coll.AllReduce.String(),
 		"alltoall":   coll.AllToAll.String(),
 		"topology":   topo.String(),
+		"backend":    be.String(),
 	})
 
 	run := func(id string) error {

@@ -40,6 +40,7 @@ func main() {
 		allreduce = flag.String("allreduce", "default", cluster.AllReduceFlagUsage+" (with -autotune, default = choose by node span)")
 		alltoall  = flag.String("alltoall", "default", cluster.AllToAllFlagUsage)
 		topology  = flag.String("topology", "ideal", cluster.TopologyFlagUsage)
+		backend   = flag.String("backend", "default", cluster.BackendFlagUsage)
 		ckptOut   = flag.String("checkpoint", "", "write trained parameters to this file")
 		ckptIn    = flag.String("resume", "", "initialize parameters from this checkpoint")
 		tune      = flag.Bool("autotune", false, "choose c and k automatically by memory model")
@@ -68,6 +69,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	be, err := cluster.ParseBackend(*backend)
+	if err != nil {
+		fatal(err)
+	}
 	cfg := pipeline.Config{
 		P: *p, C: *c, K: *k,
 		Sampler: *sampler,
@@ -76,6 +81,7 @@ func main() {
 		Overlap:     *overlap,
 		Collectives: coll,
 		Topology:    topo,
+		Backend:     be,
 	}
 	if *algorithm == "partitioned" {
 		cfg.Algorithm = pipeline.GraphPartitioned

@@ -53,6 +53,12 @@ type QuiverConfig struct {
 	// contention rules as the paper's pipeline; nil keeps the pure α–β
 	// model.
 	Topology *cluster.Topology
+
+	// Backend selects the simulator's execution backend (set on
+	// Model.Backend): goroutines or the discrete-event loop. Results
+	// are bit-identical either way; zero resolves $GNN_BACKEND, then
+	// goroutines.
+	Backend cluster.Backend
 }
 
 // hostFeatureFraction is the share of feature rows served from host
@@ -85,6 +91,9 @@ func RunQuiver(d *datasets.Dataset, cfg QuiverConfig) (*pipeline.Result, error) 
 	}
 	if cfg.Topology != nil {
 		cfg.Model.Topology = cfg.Topology
+	}
+	if cfg.Backend != cluster.DefaultBackend {
+		cfg.Model.Backend = cfg.Backend
 	}
 	if err := cfg.Model.Topology.Validate(); err != nil {
 		return nil, fmt.Errorf("baseline: %w", err)
@@ -120,15 +129,20 @@ func RunQuiver(d *datasets.Dataset, cfg QuiverConfig) (*pipeline.Result, error) 
 		feats *dense.Matrix
 	}
 
+	// Replicated-state dedup (see pipeline.Run): one shared model and
+	// optimizer for all data-parallel ranks; the step runs once per
+	// minibatch inside the gradient all-reduce.
+	model := gnn.NewModel(gnn.Config{
+		In:      d.Features.Cols,
+		Hidden:  cfg.Hidden,
+		Classes: d.NumClasses,
+		Layers:  layers,
+		Seed:    cfg.Seed,
+	})
+	opt := dense.NewAdam(cfg.LR)
+	zeroGrads := make([]float64, model.NumParams())
+
 	res, err := cl.Run(func(r *cluster.Rank) error {
-		model := gnn.NewModel(gnn.Config{
-			In:      d.Features.Cols,
-			Hidden:  cfg.Hidden,
-			Classes: d.NumClasses,
-			Layers:  layers,
-			Seed:    cfg.Seed,
-		})
-		opt := dense.NewAdam(cfg.LR)
 		store := stores[r.ID]
 		local := distsample.ReplicatedBatches(cfg.P, r.ID, batches)
 		lossSums[r.ID] = make([]float64, cfg.Epochs)
@@ -193,7 +207,7 @@ func RunQuiver(d *datasets.Dataset, cfg QuiverConfig) (*pipeline.Result, error) 
 					Run: func(rm *cluster.Rank, round int, in any) (any, error) {
 						it := in.(quiverItem)
 						rm.SetPhase(pipeline.PhasePropagation)
-						grads := make([]float64, model.NumParams())
+						grads := zeroGrads
 						if it.bg != nil {
 							act, fwdFlops := model.Forward(it.bg, it.feats)
 							labels := make([]int, len(it.bg.Seeds))
@@ -208,12 +222,13 @@ func RunQuiver(d *datasets.Dataset, cfg QuiverConfig) (*pipeline.Result, error) 
 							lossSum += loss
 							lossN++
 						}
-						sum := cluster.AllReduceSum(world, rm, grads)
-						inv := 1.0 / float64(cfg.P)
-						for i := range sum {
-							sum[i] *= inv
-						}
-						opt.Step(model.Params(), sum)
+						cluster.AllReduceSumApply(world, rm, grads, func(total []float64) {
+							inv := 1.0 / float64(cfg.P)
+							for i := range total {
+								total[i] *= inv
+							}
+							opt.Step(model.Params(), total)
+						})
 						return nil, nil
 					},
 				},

@@ -48,6 +48,13 @@ type Options struct {
 	// Contention experiment sweeps its own topologies per row). nil
 	// keeps the pure α–β model — no shared-link contention.
 	Topology *cluster.Topology
+
+	// Backend selects the simulator's execution backend for every
+	// experiment's clusters (set on Model.Backend): goroutines or the
+	// discrete-event loop. The large-p scaling points (p ≥ 4096) are
+	// only practical under the DES backend. Zero resolves
+	// $GNN_BACKEND, then goroutines.
+	Backend cluster.Backend
 }
 
 func (o Options) withDefaults() Options {
@@ -60,6 +67,9 @@ func (o Options) withDefaults() Options {
 	o.Model.Collectives = o.Model.Collectives.Merge(o.Collectives)
 	if o.Topology != nil {
 		o.Model.Topology = o.Topology
+	}
+	if o.Backend != cluster.DefaultBackend {
+		o.Model.Backend = o.Backend
 	}
 	if o.Seed == 0 {
 		o.Seed = 20240101

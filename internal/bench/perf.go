@@ -68,6 +68,7 @@ type perfCase struct {
 // ledger under an oversubscribed fabric.
 func perfMatrix() []perfCase {
 	oversub := cluster.OversubscribedTopology(4)
+	des := cluster.DESBackend
 	return []perfCase{
 		{"epoch-replicated-small-p16", datasets.Small,
 			pipeline.Config{P: 16, C: 4, K: pipeline.KAll, Epochs: 1, Seed: 20240101}},
@@ -79,6 +80,27 @@ func perfMatrix() []perfCase {
 		{"epoch-contention-tiny-p128-oversub", datasets.Tiny,
 			pipeline.Config{P: 128, C: 8, K: pipeline.KAll, Epochs: 1, Seed: 20240101,
 				Topology: oversub}},
+		// Discrete-event backend rows: the same simulated workloads run
+		// as one event loop instead of p goroutines. Contention-off rows
+		// must match their goroutine twins' simulated seconds exactly;
+		// the contention row may differ in the last digits — the ledger
+		// is first-committed-first-served in arrival order (see
+		// contention.go), and each backend has its own deterministic
+		// arrival order. The wall-clock columns are what the DES rebase
+		// is accountable to, including the p=2048 point no goroutine row
+		// covers.
+		{"epoch-replicated-tiny-p512-des", datasets.Tiny,
+			pipeline.Config{P: 512, C: 8, K: pipeline.KAll, Epochs: 1, Seed: 20240101,
+				Backend: des}},
+		{"epoch-replicated-tiny-p2048-des", datasets.Tiny,
+			pipeline.Config{P: 2048, C: 8, K: pipeline.KAll, Epochs: 1, Seed: 20240101,
+				Backend: des}},
+		{"epoch-partitioned-small-p16-des", datasets.Small,
+			pipeline.Config{P: 16, C: 2, K: pipeline.KAll, Epochs: 1, Seed: 20240101,
+				Algorithm: pipeline.GraphPartitioned, SparsityAware: true, Backend: des}},
+		{"epoch-contention-tiny-p128-oversub-des", datasets.Tiny,
+			pipeline.Config{P: 128, C: 8, K: pipeline.KAll, Epochs: 1, Seed: 20240101,
+				Topology: oversub, Backend: des}},
 	}
 }
 

@@ -30,9 +30,11 @@ type ScalingRow struct {
 }
 
 // ScalingGPUCounts is the default GPU-count axis of the scaling study.
-// It reaches the p=512 the paper's scaling argument is about — far
-// past the p≤128 the figure experiments sweep.
-var ScalingGPUCounts = []int{8, 32, 128, 512}
+// It reaches past the p=512 the paper's scaling argument is about —
+// far past the p≤128 the figure experiments sweep — into the p=4096
+// and p=8192 regime the discrete-event backend makes simulable (one
+// event loop instead of 8192 goroutines; see cluster.DESBackend).
+var ScalingGPUCounts = []int{8, 32, 128, 512, 4096, 8192}
 
 // scalingPartitionedC returns the replication factor the partitioned
 // algorithm uses at p, or 0 when no valid grid exists: the pipeline
@@ -66,8 +68,9 @@ func Scaling(w io.Writer, o Options) ([]ScalingRow, error) {
 	// or an explicit six-count -gpus list would be indistinguishable
 	// from the harness default.
 	counts := o.GPUCounts
+	defaulted := len(counts) == 0
 	o = o.withDefaults()
-	if len(counts) == 0 {
+	if defaulted {
 		counts = ScalingGPUCounts
 	}
 	d, err := datasets.ByName("products", o.Profile)
@@ -120,6 +123,20 @@ func Scaling(w io.Writer, o Options) ([]ScalingRow, error) {
 							c := scalingPartitionedC(p)
 							if c == 0 {
 								fmt.Fprintf(w, "%-6s %-12s %-6s %-8s %5d   - skipped: partitioned grid needs 4 | p\n",
+									mode, alg, coll.name, topo.name, p)
+								continue
+							}
+							// The fixed-c=2 grid degrades superlinearly with p
+							// (its sampling collectives grow with the grid
+							// dimensions — the failure mode the sweep exists to
+							// show): one p=8192 cell simulates a 168-second
+							// epoch and costs ~10 wall-minutes. The default
+							// axis stops the partitioned series at p=512; an
+							// explicit -gpus list still runs any count
+							// (measured blow-up rows are recorded in
+							// EXPERIMENTS.md).
+							if defaulted && p > 512 {
+								fmt.Fprintf(w, "%-6s %-12s %-6s %-8s %5d   - skipped: fixed c=2 grid intractable past p=512 (pass -gpus to force; see EXPERIMENTS.md)\n",
 									mode, alg, coll.name, topo.name, p)
 								continue
 							}

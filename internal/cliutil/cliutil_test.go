@@ -127,3 +127,44 @@ func TestTopologyFlagTable(t *testing.T) {
 		}
 	}
 }
+
+// -backend accept/reject table (cluster.ParseBackend).
+func TestBackendFlagTable(t *testing.T) {
+	// Case and surrounding space are normalized; "" means default.
+	accept := []struct {
+		in   string
+		want cluster.Backend
+	}{
+		{"", cluster.DefaultBackend},
+		{"default", cluster.DefaultBackend},
+		{"Default", cluster.DefaultBackend},
+		{"goroutine", cluster.GoroutineBackend},
+		{"goroutines", cluster.GoroutineBackend},
+		{"go", cluster.GoroutineBackend},
+		{" Goroutine ", cluster.GoroutineBackend},
+		{"des", cluster.DESBackend},
+		{"DES", cluster.DESBackend},
+		{"event", cluster.DESBackend},
+		{"discrete-event", cluster.DESBackend},
+	}
+	for _, c := range accept {
+		got, err := cluster.ParseBackend(c.in)
+		if err != nil {
+			t.Errorf("ParseBackend(%q) rejected: %v", c.in, err)
+		} else if got != c.want {
+			t.Errorf("ParseBackend(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	for _, in := range []string{"thread", "goroutine,des", "des2", "events", "1"} {
+		if _, err := cluster.ParseBackend(in); err == nil {
+			t.Errorf("ParseBackend(%q) accepted", in)
+		}
+	}
+	// The round trip the CLIs rely on for trace metadata.
+	for _, b := range []cluster.Backend{cluster.DefaultBackend, cluster.GoroutineBackend, cluster.DESBackend} {
+		got, err := cluster.ParseBackend(b.String())
+		if err != nil || got != b {
+			t.Errorf("ParseBackend(%v.String()) = %v, %v; want identity", b, got, err)
+		}
+	}
+}

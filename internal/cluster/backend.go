@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Backend selects the execution machinery a simulated run blocks and
+// synchronizes on. Both backends execute the same rank bodies and
+// charge the same cost model, so results — trained parameters, losses,
+// simulated seconds, link traffic — are bit-identical between them
+// (pinned by the golden tests and the goroutine-vs-DES differential
+// suite); only the wall-clock cost of running the simulator differs.
+type Backend int
+
+const (
+	// DefaultBackend is the zero value: "unset". Cluster construction
+	// resolves it through the GNN_BACKEND environment variable and
+	// falls back to GoroutineBackend, mirroring the DefaultAlgorithm
+	// convention (an explicit selection always wins over the
+	// environment).
+	DefaultBackend Backend = iota
+	// GoroutineBackend runs one goroutine per rank; synchronization
+	// points block on mutex/cond rendezvous. The original execution
+	// model, kept as the differential-testing oracle.
+	GoroutineBackend
+	// DESBackend runs the whole cluster as one discrete-event loop
+	// (internal/cluster/sim): a single-threaded cooperative scheduler
+	// with a priority event queue keyed by (time, rank, seq). Ranks
+	// become tasks that park at synchronization points instead of
+	// blocking OS threads, which removes the scheduler-churn wall at
+	// large p and makes event order — and therefore contention-model
+	// timings — deterministic.
+	DESBackend
+)
+
+// BackendEnv is the environment variable consulted when a cost model
+// leaves Backend unset.
+const BackendEnv = "GNN_BACKEND"
+
+// BackendFlagUsage is the flag help shared by the CLIs (cmd/trainer,
+// cmd/gnnbench, cmd/compare) so the binaries' flag sets stay in
+// lockstep.
+const BackendFlagUsage = "simulator backend: default, goroutine or des (default resolves $GNN_BACKEND, then goroutine)"
+
+// String returns the flag spelling of the backend.
+func (b Backend) String() string {
+	switch b {
+	case DefaultBackend:
+		return "default"
+	case GoroutineBackend:
+		return "goroutine"
+	case DESBackend:
+		return "des"
+	}
+	return fmt.Sprintf("backend(%d)", int(b))
+}
+
+// ParseBackend parses a flag spelling ("default", "goroutine",
+// "des"/"event"/"discrete-event"). The empty string is DefaultBackend.
+func ParseBackend(s string) (Backend, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "default":
+		return DefaultBackend, nil
+	case "goroutine", "goroutines", "go":
+		return GoroutineBackend, nil
+	case "des", "event", "discrete-event":
+		return DESBackend, nil
+	}
+	return 0, fmt.Errorf("cluster: unknown backend %q (want default, goroutine or des)", s)
+}
+
+// resolveBackend turns an unset selection into a concrete backend:
+// explicit > $GNN_BACKEND > goroutine. An unparsable environment value
+// is ignored rather than fatal — the environment is a convenience
+// default, not a validated input path (the CLIs validate -backend).
+func resolveBackend(b Backend) Backend {
+	if b != DefaultBackend {
+		return b
+	}
+	if env, err := ParseBackend(os.Getenv(BackendEnv)); err == nil && env != DefaultBackend {
+		return env
+	}
+	return GoroutineBackend
+}

@@ -5,6 +5,8 @@ import (
 	"math"
 	"sort"
 	"sync"
+
+	"repro/internal/cluster/sim"
 )
 
 // Comm is a communicator over a subset of the cluster's ranks, like an
@@ -216,6 +218,19 @@ type rendezvous struct {
 	// to have arrived at g+2.
 	bufs   [3][]slot
 	failed error // poisoned: every current and future participant panics
+	// parked are the DES tasks waiting on the in-flight generation
+	// (the discrete-event analogue of the cond.Wait set); the last
+	// arriver — or the poison path — readies them at their recorded
+	// entry clocks and clears the list.
+	parked []desWaiter
+}
+
+// desWaiter is one parked DES task plus the simulated time to ready it
+// at (its entry clock; collectives complete at max entry + cost, so
+// the wake time only orders events, never changes results).
+type desWaiter struct {
+	task  *sim.Task
+	clock float64
 }
 
 func newRendezvous(n int) *rendezvous {
@@ -234,11 +249,33 @@ func (rv *rendezvous) genBuf() []slot {
 	return rv.bufs[i]
 }
 
-// poison marks the rendezvous failed and wakes every waiter; callers
-// panic with the recorded error.
-func (rv *rendezvous) poison(err error) {
+// poison marks the rendezvous failed and wakes every waiter — blocked
+// goroutines via the condition variable and parked DES tasks via the
+// scheduler — so callers panic with the recorded error instead of
+// hanging. Caller holds rv.mu.
+func (c *Comm) poison(err error) {
+	rv := c.rv
 	rv.failed = err
 	rv.cond.Broadcast()
+	if len(rv.parked) > 0 {
+		s := c.cl.sched
+		for _, w := range rv.parked {
+			s.Ready(w.task, w.clock)
+		}
+		rv.parked = rv.parked[:0]
+	}
+}
+
+// diag appends execution-backend context to a deadlock diagnostic:
+// which backend was running and, under DES, how deep the event queue
+// was when the rendezvous was poisoned (a drained queue with parked
+// ranks is the classic symptom; a deep one points at livelock in the
+// simulated program instead).
+func (c *Comm) diag() string {
+	if s := c.cl.sched; s != nil {
+		return fmt.Sprintf(" [backend=des, %d queued events]", s.Depth())
+	}
+	return fmt.Sprintf(" [backend=%s]", c.cl.backend)
 }
 
 // exchange contributes one slot under the named collective and returns
@@ -269,9 +306,9 @@ func (c *Comm) exchangeTransform(r *Rank, op string, s slot, transform func([]sl
 	if rv.arrived == 0 {
 		rv.op = op
 	} else if rv.op != op {
-		err := fmt.Errorf("cluster: mismatched collectives on comm %v (dup %q): rank %d called %s while %s is in flight",
-			c.members, c.key, r.ID, op, rv.op)
-		rv.poison(err)
+		err := fmt.Errorf("cluster: mismatched collectives on comm %v (dup %q): rank %d called %s while %s is in flight%s",
+			c.members, c.key, r.ID, op, rv.op, c.diag())
+		c.poison(err)
 		panic(err)
 	}
 	if rv.arrived == 0 {
@@ -291,9 +328,9 @@ func (c *Comm) exchangeTransform(r *Rank, op string, s slot, transform func([]sl
 			func() {
 				defer func() {
 					if p := recover(); p != nil {
-						err := fmt.Errorf("cluster: %s transform panicked on comm %v (dup %q): %v",
-							op, c.members, c.key, p)
-						rv.poison(err)
+						err := fmt.Errorf("cluster: %s transform panicked on comm %v (dup %q): %v%s",
+							op, c.members, c.key, p, c.diag())
+						c.poison(err)
 						panic(err)
 					}
 				}()
@@ -310,6 +347,16 @@ func (c *Comm) exchangeTransform(r *Rank, op string, s slot, transform func([]sl
 		}
 		rv.gen++
 		rv.cond.Broadcast()
+		if len(rv.parked) > 0 {
+			// DES: the generation is complete; ready every parked peer
+			// at its entry clock (completion time is charged by each
+			// member itself, so the wake time only orders events).
+			s := c.cl.sched
+			for _, w := range rv.parked {
+				s.Ready(w.task, w.clock)
+			}
+			rv.parked = rv.parked[:0]
+		}
 		return rv.out
 	}
 	// A peer that already finished its rank body can never arrive. The
@@ -318,11 +365,29 @@ func (c *Comm) exchangeTransform(r *Rank, op string, s slot, transform func([]sl
 	if c.cl.anyDone.Load() {
 		if m := c.abandonedLocked(); m >= 0 {
 			err := c.abandonErr(m, op)
-			rv.poison(err)
+			c.poison(err)
 			panic(err)
 		}
 	}
 	gen := rv.gen
+	if t := r.task; t != nil {
+		// DES: park on the scheduler instead of the condition
+		// variable. One wake suffices — only generation completion or
+		// poison readies a parked waiter, and the next generation
+		// cannot finish (it needs this very rank) before the task
+		// resumes, so rv.out is still ours on wake.
+		rv.parked = append(rv.parked, desWaiter{task: t, clock: s.clock})
+		rv.mu.Unlock()
+		t.Park()
+		rv.mu.Lock()
+		if rv.failed != nil {
+			panic(rv.failed)
+		}
+		if rv.gen == gen {
+			panic(fmt.Sprintf("cluster: spurious DES wake on comm %v (dup %q) during %s", c.members, c.key, op))
+		}
+		return rv.out
+	}
 	for rv.gen == gen {
 		if rv.failed != nil {
 			panic(rv.failed)
@@ -355,8 +420,8 @@ func (c *Comm) abandonedLocked() int {
 
 // abandonErr is the shared deadlock diagnostic.
 func (c *Comm) abandonErr(m int, op string) error {
-	return fmt.Errorf("cluster: deadlock on comm %v (dup %q): rank %d finished without joining %s",
-		c.members, c.key, m, op)
+	return fmt.Errorf("cluster: deadlock on comm %v (dup %q): rank %d finished without joining %s%s",
+		c.members, c.key, m, op, c.diag())
 }
 
 // checkAbandoned poisons the rendezvous if members are waiting for a
@@ -367,7 +432,7 @@ func (c *Comm) checkAbandoned() {
 	rv.mu.Lock()
 	defer rv.mu.Unlock()
 	if m := c.abandonedLocked(); m >= 0 {
-		rv.poison(c.abandonErr(m, rv.op))
+		c.poison(c.abandonErr(m, rv.op))
 	}
 }
 
@@ -554,13 +619,26 @@ func AllReduceSum(c *Comm, r *Rank, x []float64) []float64 {
 }
 
 // allReduceSumAlg runs the rendezvous and fold shared by the flat and
-// ring schedules; only the charged cost differs. The elementwise fold
-// is identical on every member (zeros, then += each slot in member
-// order), so the last arriver computes it once inside the rendezvous
-// transform and members copy the shared total into caller-owned
-// storage — O(n·len) total instead of the O(n²·len) of every member
-// re-folding all n slots, the dominant simulator cost at large p.
+// ring schedules; only the charged cost differs. Members copy the
+// shared total into caller-owned storage so the result may be scaled
+// in place.
 func allReduceSumAlg(c *Comm, r *Rank, x []float64, alg CollectiveAlgorithm) []float64 {
+	out := allReduceSumAlgShared(c, r, x, alg, nil)
+	return append([]float64(nil), out...)
+}
+
+// allReduceSumAlgShared is the fold core of the sum all-reduce. The
+// elementwise fold is identical on every member (zeros, then += each
+// slot in member order), so the last arriver computes it once inside
+// the rendezvous transform — O(n·len) total instead of the O(n²·len)
+// of every member re-folding all n slots, the dominant simulator cost
+// at large p — and every member receives the one shared total, which
+// must be treated as read-only. A non-nil apply runs on the shared
+// total inside the transform: exactly once per collective, while every
+// other member is blocked in the rendezvous, which is what makes the
+// shared-model optimizer step of AllReduceSumApply race-free on both
+// backends.
+func allReduceSumAlgShared(c *Comm, r *Rank, x []float64, alg CollectiveAlgorithm, apply func(total []float64)) []float64 {
 	slots := c.exchangeTransform(r, "allreduce", slot{clock: r.clock, val: x, bytes: 8 * len(x)},
 		func(slots []slot) []slot {
 			sum := make([]float64, len(slots[0].val.([]float64)))
@@ -577,6 +655,9 @@ func allReduceSumAlg(c *Comm, r *Rank, x []float64, alg CollectiveAlgorithm) []f
 					maxBytes = s.bytes
 				}
 			}
+			if apply != nil {
+				apply(sum)
+			}
 			for i := range slots {
 				slots[i].val = sum
 				slots[i].bytes = maxBytes
@@ -585,9 +666,32 @@ func allReduceSumAlg(c *Comm, r *Rank, x []float64, alg CollectiveAlgorithm) []f
 		})
 	entry := maxClock(slots)
 	me := c.LocalIndex(r)
-	out := append([]float64(nil), slots[me].val.([]float64)...)
+	out := slots[me].val.([]float64)
 	c.chargeCollective(r, "allreduce", entry, allReduceCost(c, alg, slots[me].bytes, 8*len(x)))
 	return out
+}
+
+// AllReduceSumApply is AllReduceSum fused with a post-reduction step
+// that must run exactly once per collective across all members — the
+// shape of data-parallel training with a shared model: all ranks hold
+// identical parameters, so instead of every rank copying the reduced
+// gradient and applying an identical optimizer step to its own replica,
+// apply(total) runs once, inside the collective, on the one shared sum
+// (scale it, step the one shared optimizer/model). The charged time and
+// traffic are identical to AllReduceSum on every member; what changes
+// is only the host-side work the simulator itself performs, which is
+// what the replicated-state dedup removes at large p. apply runs while
+// every member is synchronized inside the rendezvous (for the
+// hierarchical schedule: inside the node-leader stage, before any
+// member leaves the broadcast), so mutations of shared training state
+// are race-free under both backends.
+func AllReduceSumApply(c *Comm, r *Rank, x []float64, apply func(total []float64)) {
+	alg := c.allReduceAlg()
+	if alg == Hierarchical {
+		allReduceSumHierApply(c, r, x, apply)
+		return
+	}
+	allReduceSumAlgShared(c, r, x, alg, apply)
 }
 
 // AllReduceGeneric folds arbitrary values with a user combiner; every
@@ -630,6 +734,21 @@ func AllReduceGeneric[T any](c *Comm, r *Rank, val T, bytes int, combine func(a,
 // the communicator sits on one node. The inner stages are pinned to
 // FlatTree so the composition is exactly the paper's.
 func allReduceSumHier(c *Comm, r *Rank, x []float64) []float64 {
+	// The broadcast value is shared storage owned by the leader's
+	// stage, and members copy it after the rendezvous releases them;
+	// every member must leave it untouched and return a private copy
+	// so callers may scale the result in place (the flat algorithm
+	// also returns caller-owned storage).
+	return append([]float64(nil), allReduceSumHierApply(c, r, x, nil)...)
+}
+
+// allReduceSumHierApply is the hierarchical schedule over shared
+// storage: the intra-node stage's partial and the final total are the
+// transform-allocated shared sums (no per-member copies), and a
+// non-nil apply runs once globally, inside the node-leader all-reduce
+// — before any member can leave the closing intra-node broadcast. The
+// returned slice is shared and must be treated as read-only.
+func allReduceSumHierApply(c *Comm, r *Rank, x []float64, apply func(total []float64)) []float64 {
 	model := c.cl.Model
 	// Group members by node.
 	nodeOf := map[int]int{}
@@ -640,7 +759,7 @@ func allReduceSumHier(c *Comm, r *Rank, x []float64) []float64 {
 		nodes[n] = append(nodes[n], m)
 	}
 	if len(nodes) <= 1 {
-		return allReduceSumAlg(c, r, x, FlatTree)
+		return allReduceSumAlgShared(c, r, x, FlatTree, apply)
 	}
 
 	// The collective structure must be identical on every member, so
@@ -651,22 +770,18 @@ func allReduceSumHier(c *Comm, r *Rank, x []float64) []float64 {
 	intra, leaders := c.hierComms()
 
 	myNodeComm := intra[nodeOf[r.ID]]
-	partial := allReduceSumAlg(myNodeComm, r, x, FlatTree)
+	partial := allReduceSumAlgShared(myNodeComm, r, x, FlatTree, nil)
 
 	// Node leaders (smallest rank per node) reduce across nodes.
 	leader := myNodeComm.members[0]
 	var total []float64
 	if r.ID == leader {
-		total = allReduceSumAlg(leaders, r, partial, FlatTree)
+		total = allReduceSumAlgShared(leaders, r, partial, FlatTree, apply)
 	}
-	// Broadcast the result back within each node. The broadcast value
-	// is shared storage owned by the leader, and members copy it after
-	// the rendezvous releases them; every member (the leader included)
-	// must therefore leave it untouched and return a private copy so
-	// callers may scale the result in place (the flat algorithm also
-	// returns caller-owned storage).
-	total = broadcastAlg(myNodeComm, r, 0, total, 8*len(x), FlatTree)
-	return append([]float64(nil), total...)
+	// Broadcast the result back within each node (the payload size, not
+	// the value, is what the charge depends on, so non-leaders' nil
+	// contribution costs the same as ever).
+	return broadcastAlg(myNodeComm, r, 0, total, 8*len(x), FlatTree)
 }
 
 // hierComms lazily builds (exactly once) the per-node and leader

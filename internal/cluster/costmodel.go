@@ -57,6 +57,15 @@ func (l Link) String() string {
 type CostModel struct {
 	GPUsPerNode int
 
+	// Backend selects the execution machinery (goroutine-per-rank or
+	// the discrete-event loop). Riding the cost model, like the
+	// Collectives table and Topology, means a selection travels
+	// everywhere a model does — pipeline configs, baselines, the bench
+	// harness — without extra plumbing. Both backends produce
+	// bit-identical results; DefaultBackend resolves $GNN_BACKEND and
+	// falls back to the goroutine backend.
+	Backend Backend
+
 	// Collectives selects, per operation class, the schedule the
 	// collectives charge under (FlatTree / Ring / Pairwise /
 	// Hierarchical). The zero value keeps every collective on the

@@ -3,6 +3,8 @@ package cluster
 import (
 	"fmt"
 	"sync"
+
+	"repro/internal/cluster/sim"
 )
 
 // mailbox implements matched point-to-point sends and receives between
@@ -28,6 +30,13 @@ type mailSlot struct {
 	hasRecv   bool
 	done      float64
 	completed bool
+	// waiter is the parked DES task of whichever side arrived first.
+	// Under DES the second arriver completes the transfer (either side
+	// can: the cost depends only on the two entry clocks, the payload
+	// and the sender's links), deletes the map entry — so the key is
+	// immediately reusable — and readies the parked peer at the done
+	// time; the peer reads the slot through its retained pointer.
+	waiter *sim.Task
 }
 
 func newMailbox() *mailbox {
@@ -60,6 +69,16 @@ func Send[T any](c *Cluster, r *Rank, dst, tag int, val T, bytes int) {
 	mb := c.mailboxInstance()
 	key := mailKey{src: r.ID, dst: dst, tag: tag}
 	link := c.Model.linkBetween(r.ID, dst)
+
+	if r.task != nil {
+		done := mb.sendDES(c, r, key, link, val, bytes)
+		r.countOp("send", int64(bytes))
+		r.countLink(link, int64(bytes))
+		if done > r.clock {
+			r.advance(done-r.clock, true)
+		}
+		return
+	}
 
 	// The locked section runs under a deferred unlock so the
 	// duplicate-send diagnostic below releases the mailbox before the
@@ -126,6 +145,14 @@ func Recv[T any](c *Cluster, r *Rank, src, tag int) T {
 	mb := c.mailboxInstance()
 	key := mailKey{src: src, dst: r.ID, tag: tag}
 
+	if r.task != nil {
+		val, done := mb.recvDES(c, r, key)
+		if done > r.clock {
+			r.advance(done-r.clock, true)
+		}
+		return val.(T)
+	}
+
 	// Deferred unlock for the same reason as Send: the duplicate-recv
 	// panic must not leave the mailbox locked.
 	val, done := func() (T, float64) {
@@ -155,4 +182,87 @@ func Recv[T any](c *Cluster, r *Rank, src, tag int) T {
 		r.advance(done-r.clock, true)
 	}
 	return val
+}
+
+// --- DES mailbox protocol ------------------------------------------------
+//
+// Under the discrete-event backend exactly one task runs at a time, so
+// the mailbox needs no mutex: the happens-before chain runs through the
+// scheduler's handoff channels. The first arriver records its side and
+// parks; the second arriver completes the transfer (the done time
+// depends only on both entry clocks, the payload and the sender's
+// physical links, so either side can compute it), deletes the map entry
+// — making the key immediately reusable, matching the state a finished
+// goroutine-backend exchange leaves behind — and readies the parked
+// peer at the done time.
+
+// sendDES is Send's DES half; it returns the transfer's done time.
+func (mb *mailbox) sendDES(c *Cluster, r *Rank, key mailKey, link Link, val any, bytes int) float64 {
+	slot := mb.slots[key]
+	if slot == nil {
+		slot = &mailSlot{}
+		mb.slots[key] = slot
+	}
+	if slot.hasData {
+		panic(fmt.Sprintf("cluster: duplicate Send for %+v", key))
+	}
+	slot.val = val
+	slot.bytes = bytes
+	slot.sendClock = r.clock
+	slot.hasData = true
+	if !slot.hasRecv {
+		slot.waiter = r.task
+		r.task.Park()
+		return slot.done // the receiver completed the slot before readying us
+	}
+	return mb.completeDES(c, key, link, slot)
+}
+
+// recvDES is Recv's DES half; it returns the payload and done time.
+func (mb *mailbox) recvDES(c *Cluster, r *Rank, key mailKey) (any, float64) {
+	slot := mb.slots[key]
+	if slot == nil {
+		slot = &mailSlot{}
+		mb.slots[key] = slot
+	}
+	if slot.hasRecv {
+		panic(fmt.Sprintf("cluster: duplicate Recv for %+v", key))
+	}
+	slot.recvClock = r.clock
+	slot.hasRecv = true
+	if !slot.hasData {
+		slot.waiter = r.task
+		r.task.Park()
+		return slot.val, slot.done // the sender completed the slot
+	}
+	link := c.Model.linkBetween(key.src, key.dst)
+	return slot.val, mb.completeDES(c, key, link, slot)
+}
+
+// completeDES finishes a fully-matched transfer: computes the done
+// time exactly as the goroutine backend's Send does (entry is the
+// later of the two arrival clocks; under a contention topology the
+// payload flows through the sender's physical links), retires the map
+// entry and wakes the parked peer.
+func (mb *mailbox) completeDES(c *Cluster, key mailKey, link Link, slot *mailSlot) float64 {
+	entry := slot.sendClock
+	if slot.recvClock > entry {
+		entry = slot.recvClock
+	}
+	if ct := c.cont; ct != nil {
+		fin := ct.transact([]flowReq{{
+			start: entry + c.Model.Alpha[link],
+			bytes: float64(slot.bytes),
+			links: ct.linksFor(key.src, link),
+		}})
+		slot.done = fin[0]
+	} else {
+		slot.done = entry + c.Model.Alpha[link] + float64(slot.bytes)*c.Model.Beta[link]
+	}
+	slot.completed = true
+	delete(mb.slots, key)
+	if slot.waiter != nil {
+		c.sched.Ready(slot.waiter, slot.done)
+	}
+	return slot.done
 }

@@ -1,0 +1,164 @@
+package cluster
+
+import "repro/internal/cluster/sim"
+
+// Queue is a bounded FIFO handoff between two concurrent timelines of
+// one rank (a staged pipeline's item and credit channels). It is the
+// backend-neutral replacement for a buffered channel: under the
+// goroutine backend it is one, while under the DES backend senders and
+// receivers park on the event scheduler instead of blocking
+// goroutines. Queues carry no simulated time themselves — like the
+// channels they replace, simulated backpressure is expressed by the
+// values flowing through them (item completion times, credit clocks)
+// and charged explicitly by the stages.
+type Queue struct {
+	cl  *Cluster
+	des bool
+
+	ch chan any // goroutine backend
+
+	// DES state: ring buffer plus parked peers. The scheduler
+	// guarantees a single runnable task, so no locking — the
+	// happens-before chain runs through its handoff channels.
+	capacity int
+	buf      []any
+	sendW    []queueWaiter // parked senders, each carrying its pending value
+	recvW    []*sim.Task   // parked receivers
+}
+
+type queueWaiter struct {
+	task *sim.Task
+	val  any
+}
+
+// NewQueue creates a bounded queue with the given capacity (values < 1
+// are treated as 1) on this rank's backend.
+func (r *Rank) NewQueue(capacity int) *Queue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	q := &Queue{cl: r.cl, capacity: capacity, des: r.task != nil}
+	if !q.des {
+		q.ch = make(chan any, capacity)
+	}
+	return q
+}
+
+// Prefill enqueues v before the queue is in use (initial credits); it
+// must not be called once Send/Recv traffic has started and panics if
+// the queue is already full.
+func (q *Queue) Prefill(v any) {
+	if !q.des {
+		select {
+		case q.ch <- v:
+		default:
+			panic("cluster: Prefill on a full queue")
+		}
+		return
+	}
+	if len(q.buf) >= q.capacity {
+		panic("cluster: Prefill on a full queue")
+	}
+	q.buf = append(q.buf, v)
+}
+
+// Send enqueues v, blocking (parking, under DES) while the queue is
+// full.
+func (q *Queue) Send(r *Rank, v any) {
+	if !q.des {
+		q.ch <- v
+		return
+	}
+	if len(q.buf) < q.capacity {
+		q.buf = append(q.buf, v)
+		if len(q.recvW) > 0 {
+			w := q.recvW[0]
+			q.recvW = q.recvW[1:]
+			q.cl.sched.Ready(w, r.clock)
+		}
+		return
+	}
+	// Full: park with the value; the receiver that frees a slot moves
+	// it into the buffer and readies us.
+	q.sendW = append(q.sendW, queueWaiter{task: r.task, val: v})
+	r.task.Park()
+}
+
+// Recv dequeues the oldest value, blocking (parking, under DES) while
+// the queue is empty.
+func (q *Queue) Recv(r *Rank) any {
+	if !q.des {
+		return <-q.ch
+	}
+	for len(q.buf) == 0 {
+		q.recvW = append(q.recvW, r.task)
+		r.task.Park()
+	}
+	v := q.buf[0]
+	q.buf = q.buf[1:]
+	if len(q.sendW) > 0 {
+		w := q.sendW[0]
+		q.sendW = q.sendW[1:]
+		q.buf = append(q.buf, w.val)
+		q.cl.sched.Ready(w.task, r.clock)
+	}
+	return v
+}
+
+// Forked is the join handle of a stream forked with ForkStream.
+type Forked struct {
+	stream *Rank
+
+	ch chan struct{} // goroutine backend: closed when fn returns
+
+	// DES state.
+	cl          *Cluster
+	done        bool
+	waiter      *sim.Task
+	waiterClock float64
+}
+
+// ForkStream runs fn concurrently on a newly forked stream of r (see
+// Rank.Stream) and returns a handle to join it. Under the goroutine
+// backend fn gets its own goroutine; under DES it becomes a scheduler
+// task readied at the fork's simulated time, sharing the rank id for
+// event tie-breaking.
+func (r *Rank) ForkStream(name string, fn func(s *Rank)) *Forked {
+	s := r.Stream(name)
+	f := &Forked{stream: s, cl: r.cl}
+	if r.task != nil {
+		sched := r.cl.sched
+		t := sched.Spawn(r.ID, func(t *sim.Task) {
+			s.task = t
+			fn(s)
+			f.done = true
+			if f.waiter != nil {
+				sched.Ready(f.waiter, f.waiterClock)
+			}
+		})
+		sched.Ready(t, s.clock)
+		return f
+	}
+	f.ch = make(chan struct{})
+	go func() {
+		defer close(f.ch)
+		fn(s)
+	}()
+	return f
+}
+
+// Join blocks r until the forked stream's body has returned. Join
+// advances no simulated time — like joining a goroutine, it only
+// synchronizes control flow; makespans aggregate through MaxClock.
+func (f *Forked) Join(r *Rank) {
+	if f.ch != nil {
+		<-f.ch
+		return
+	}
+	if f.done {
+		return
+	}
+	f.waiter = r.task
+	f.waiterClock = r.clock
+	r.task.Park()
+}

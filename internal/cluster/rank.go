@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/cluster/sim"
 )
 
 // Rank is one simulated device (a "GPU") executing the per-process body
@@ -43,28 +45,47 @@ type Rank struct {
 	stream string
 	// acct is the accounting shared by every stream of this rank.
 	acct *acct
+	// phaseTotal/phaseComm/phaseTouched are this stream's private phase
+	// accumulators, indexed by the acct's interned slot ids and grown on
+	// demand (a slot may be interned by a sibling stream first). They
+	// are stream-local so concurrent streams never interleave
+	// floating-point additions into one bucket — summation order, and
+	// with it the last-ulp of every phase total, must be a function of
+	// the program, not of the scheduler. stats() folds the streams in
+	// creation order.
+	phaseTotal   []float64
+	phaseComm    []float64
+	phaseTouched []bool
 	// cont is the cluster's physical-link contention ledger (nil when
 	// the model carries no Topology); ChargeLink routes through it.
 	cont *contention
+
+	// cl is the owning cluster; the synchronization primitives consult
+	// it for the backend and, under DES, the scheduler.
+	cl *Cluster
+	// task is this timeline's DES task (nil under the goroutine
+	// backend): the handle the rendezvous, mailbox and stage queues
+	// park and ready instead of blocking a goroutine.
+	task *sim.Task
 }
 
 // acct is the phase/traffic accounting shared across a rank's streams.
-// Streams run on separate goroutines, so bucket updates take the
+// Streams run on separate goroutines, so shared updates take the
 // mutex; each stream's clock is goroutine-local and needs no lock.
-// Phase time accrues into index-addressed slots (phaseIdx interns the
-// names) so the per-charge path performs no map operations.
+// Phase names are interned to index-addressed slots (phaseIdx) so the
+// per-charge path performs no map operations; the float64 second
+// accumulators themselves live on each stream (see Rank.phaseTotal) —
+// only the exact integer counters are accumulated shared, because
+// integer addition commutes and float addition's rounding does not.
 type acct struct {
-	mu           sync.Mutex
-	phaseIdx     map[string]int // phase name -> slot
-	phaseNames   []string       // slot -> phase name
-	phaseTotal   []float64      // slot -> total simulated seconds
-	phaseComm    []float64      // slot -> communication part
-	phaseTouched []bool         // slot -> received at least one charge
-	bytesSent    int64
-	opCount      map[string]int64    // collective name -> invocations
-	opBytes      map[string]int64    // collective name -> bytes sent
-	linkBytes    map[string][3]int64 // phase -> wire bytes injected per Link tier
-	streams      []*Rank             // forked streams (main rank excluded)
+	mu         sync.Mutex
+	phaseIdx   map[string]int // phase name -> slot
+	phaseNames []string       // slot -> phase name
+	bytesSent  int64
+	opCount    map[string]int64    // collective name -> invocations
+	opBytes    map[string]int64    // collective name -> bytes sent
+	linkBytes  map[string][3]int64 // phase -> wire bytes injected per Link tier
+	streams    []*Rank             // forked streams (main rank excluded)
 }
 
 func newAcct() *acct {
@@ -86,9 +107,6 @@ func (a *acct) slotFor(name string) int {
 	i := len(a.phaseNames)
 	a.phaseIdx[name] = i
 	a.phaseNames = append(a.phaseNames, name)
-	a.phaseTotal = append(a.phaseTotal, 0)
-	a.phaseComm = append(a.phaseComm, 0)
-	a.phaseTouched = append(a.phaseTouched, false)
 	return i
 }
 
@@ -109,6 +127,7 @@ func (r *Rank) Stream(name string) *Rank {
 		stream: name,
 		acct:   r.acct,
 		cont:   r.cont,
+		cl:     r.cl,
 	}
 	s.rebuildPhaseSlots()
 	r.acct.mu.Lock()
@@ -220,22 +239,33 @@ func (r *Rank) MaxClock() float64 {
 }
 
 // advance adds dt simulated seconds to the clock and every phase on
-// the stack; comm marks the time as communication.
+// the stack; comm marks the time as communication. Phase seconds
+// accrue into the stream's private accumulators — no lock, and no
+// scheduler-dependent interleaving of float additions.
 func (r *Rank) advance(dt float64, comm bool) {
 	if dt < 0 || math.IsNaN(dt) {
 		panic(fmt.Sprintf("cluster: negative or NaN time advance %v", dt))
 	}
 	r.clock += dt
-	a := r.acct
-	a.mu.Lock()
 	for _, s := range r.phaseSlots {
-		a.phaseTotal[s] += dt
-		a.phaseTouched[s] = true
+		if s >= len(r.phaseTotal) {
+			r.growPhases(s + 1)
+		}
+		r.phaseTotal[s] += dt
+		r.phaseTouched[s] = true
 		if comm {
-			a.phaseComm[s] += dt
+			r.phaseComm[s] += dt
 		}
 	}
-	a.mu.Unlock()
+}
+
+// growPhases extends the stream-local accumulators to hold n slots.
+func (r *Rank) growPhases(n int) {
+	for len(r.phaseTotal) < n {
+		r.phaseTotal = append(r.phaseTotal, 0)
+		r.phaseComm = append(r.phaseComm, 0)
+		r.phaseTouched = append(r.phaseTouched, false)
+	}
 }
 
 // ChargeSparse bills ops irregular operations (SpGEMM multiply-adds,
@@ -313,16 +343,30 @@ func (r *Rank) stats() Stats {
 	a := r.acct
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	// Only charged phases surface (a phase merely set, never charged,
-	// historically created no bucket).
-	pt := make(map[string]float64, len(a.phaseTotal))
-	pc := make(map[string]float64, len(a.phaseComm))
+	// Fold the per-stream phase accumulators: main timeline first, then
+	// forked streams in creation order — a fixed summation order, so
+	// the folded totals are bit-deterministic. Only charged phases
+	// surface (a phase merely set, never charged, historically created
+	// no bucket).
+	nSlots := len(a.phaseNames)
+	total := make([]float64, nSlots)
+	comm := make([]float64, nSlots)
+	touched := make([]bool, nSlots)
+	for _, s := range append([]*Rank{r}, a.streams...) {
+		for i := range s.phaseTotal {
+			total[i] += s.phaseTotal[i]
+			comm[i] += s.phaseComm[i]
+			touched[i] = touched[i] || s.phaseTouched[i]
+		}
+	}
+	pt := make(map[string]float64, nSlots)
+	pc := make(map[string]float64, nSlots)
 	for i, name := range a.phaseNames {
-		if !a.phaseTouched[i] {
+		if !touched[i] {
 			continue
 		}
-		pt[name] = a.phaseTotal[i]
-		pc[name] = a.phaseComm[i]
+		pt[name] = total[i]
+		pc[name] = comm[i]
 	}
 	oc := make(map[string]int64, len(a.opCount))
 	for k, v := range a.opCount {
@@ -430,6 +474,16 @@ type Cluster struct {
 	N     int
 	Model CostModel
 
+	// backend is the resolved execution backend (never
+	// DefaultBackend): Model.Backend, then $GNN_BACKEND, then the
+	// goroutine backend — fixed at construction so every Run and every
+	// synchronization primitive agrees.
+	backend Backend
+	// sched is the discrete-event scheduler of the Run in progress
+	// (DES backend only; nil between runs and always nil under the
+	// goroutine backend).
+	sched *sim.Sched
+
 	mu    sync.Mutex
 	comms []*Comm
 	mail  *mailbox
@@ -469,12 +523,15 @@ func New(n int, model CostModel) *Cluster {
 	if n <= 0 {
 		panic("cluster: need at least one rank")
 	}
-	c := &Cluster{N: n, Model: model}
+	c := &Cluster{N: n, Model: model, backend: resolveBackend(model.Backend)}
 	if model.Topology != nil {
 		c.cont = newContention(model, n)
 	}
 	return c
 }
+
+// Backend reports the resolved execution backend this cluster runs on.
+func (c *Cluster) Backend() Backend { return c.backend }
 
 // Run executes body once per rank concurrently and returns per-rank
 // accounting. Ranks must all reach every collective they participate
@@ -508,20 +565,44 @@ func (c *Cluster) Run(body func(r *Rank) error) (*Result, error) {
 			phases: []string{"default"},
 			acct:   newAcct(),
 			cont:   c.cont,
+			cl:     c,
 		}
 		ranks[i].rebuildPhaseSlots()
 	}
 	errs := make([]error, c.N)
-	var wg sync.WaitGroup
-	for i := 0; i < c.N; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			defer c.markDone(i)
-			errs[i] = body(ranks[i])
-		}(i)
+	if c.backend == DESBackend {
+		// Discrete-event backend: one cooperative task per rank,
+		// all readied at t=0 in rank order, driven to completion by a
+		// single event loop. The synchronization primitives (the
+		// collective rendezvous, the point-to-point mailbox, stage
+		// queues and stream joins) park tasks on the scheduler instead
+		// of blocking goroutines.
+		s := sim.New()
+		c.sched = s
+		for i := 0; i < c.N; i++ {
+			i := i
+			ranks[i].task = s.Spawn(i, func(*sim.Task) {
+				defer c.markDone(i)
+				errs[i] = body(ranks[i])
+			})
+			s.Ready(ranks[i].task, 0)
+		}
+		func() {
+			defer func() { c.sched = nil }()
+			s.Run()
+		}()
+	} else {
+		var wg sync.WaitGroup
+		for i := 0; i < c.N; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer c.markDone(i)
+				errs[i] = body(ranks[i])
+			}(i)
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -162,7 +162,15 @@ func TestAbandonedCollectivePanics(t *testing.T) {
 // communicator from a differently-named stream than the first without
 // tripping the two-streams check.
 func TestDriverBindingsResetAcrossRuns(t *testing.T) {
-	cl := New(2, testModel())
+	// Pinned to the goroutine backend: the rank body drives a collective
+	// from a raw goroutine and blocks on a raw channel, which a
+	// cooperative DES task must never do (it would hold the run token and
+	// starve the scheduler). ForkStream is the backend-neutral way to get
+	// concurrency inside a rank body; this test deliberately bypasses it
+	// to probe the per-Run driver-binding reset.
+	model := testModel()
+	model.Backend = GoroutineBackend
+	cl := New(2, model)
 	world := cl.World()
 	// First run: base comm driven from the main timeline.
 	if _, err := cl.Run(func(r *Rank) error {

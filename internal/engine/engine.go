@@ -131,10 +131,12 @@ func (p *Pipeline) executeSequential(r *cluster.Rank, n int) error {
 
 // executeOverlapped forks one stream per producer stage and runs the
 // final stage on the caller's timeline. Items and completion times
-// flow downstream through bounded channels; queue-slot credits (each
+// flow downstream through bounded queues; queue-slot credits (each
 // carrying the consumer's simulated dequeue time) flow back upstream,
-// so both the goroutines and the simulated clocks feel the bounded
-// queues.
+// so both the concurrent streams and the simulated clocks feel the
+// bounded queues. The queues and forks are the cluster's
+// backend-neutral primitives, so the same code runs on goroutines or
+// as discrete-event tasks.
 func (p *Pipeline) executeOverlapped(r *cluster.Rank, n int) error {
 	s := len(p.Stages)
 	names := make(map[string]int, s)
@@ -153,50 +155,48 @@ func (p *Pipeline) executeOverlapped(r *cluster.Rank, n int) error {
 			}
 		}
 	}
-	items := make([]chan token, s-1)
-	credits := make([]chan float64, s-1)
+	items := make([]*cluster.Queue, s-1)
+	credits := make([]*cluster.Queue, s-1)
 	for i, st := range p.Stages[:s-1] {
 		q := st.Queue
 		if q < 1 {
 			q = 1
 		}
-		items[i] = make(chan token, q)
-		credits[i] = make(chan float64, q)
+		items[i] = r.NewQueue(q)
+		credits[i] = r.NewQueue(q)
 		for j := 0; j < q; j++ {
-			credits[i] <- 0 // queue starts empty: q free slots at t=0
+			credits[i].Prefill(0.0) // queue starts empty: q free slots at t=0
 		}
 	}
-	done := make(chan struct{}, s-1)
+	forks := make([]*cluster.Forked, s-1)
 	for i := 0; i < s-1; i++ {
-		var in chan token
-		var inCred chan float64
+		var in, inCred *cluster.Queue
 		if i > 0 {
 			in, inCred = items[i-1], credits[i-1]
 		}
-		go func(i int, in chan token, inCred chan float64) {
-			stream := r.Stream(p.Stages[i].Name)
+		i, in, inCred := i, in, inCred
+		forks[i] = r.ForkStream(p.Stages[i].Name, func(stream *cluster.Rank) {
 			p.runStage(stream, i, n, in, inCred, items[i], credits[i])
-			done <- struct{}{}
-		}(i, in, inCred)
+		})
 	}
 	err := p.runStage(r, s-1, n, items[s-2], credits[s-2], nil, nil)
-	for i := 0; i < s-1; i++ {
-		<-done
+	for _, f := range forks {
+		f.Join(r)
 	}
 	return err
 }
 
 // runStage drives one stage over all n items. To stay deadlock-free
-// it keeps the channel protocol in lockstep even after an error: every
+// it keeps the queue protocol in lockstep even after an error: every
 // item is still received, credited and forwarded, with Run skipped and
 // the error riding the tokens to the final stage.
 func (p *Pipeline) runStage(r *cluster.Rank, s, n int,
-	in chan token, inCred chan float64, out chan token, outCred chan float64) error {
+	in, inCred, out, outCred *cluster.Queue) error {
 	var failed error
 	for i := 0; i < n; i++ {
 		var val any
 		if in != nil {
-			tok := <-in
+			tok := in.Recv(r).(token)
 			if tok.err != nil && failed == nil {
 				failed = tok.err
 			}
@@ -208,12 +208,12 @@ func (p *Pipeline) runStage(r *cluster.Rank, s, n int,
 				r.WaitUntil(tok.done)
 			}
 			// Dequeuing frees the slot at our (post-stall) now.
-			inCred <- r.Clock()
+			inCred.Send(r, r.Clock())
 		}
 		if outCred != nil {
 			// A free output slot is a precondition for starting the
 			// item (double buffering: nowhere to put it otherwise).
-			t := <-outCred
+			t := outCred.Recv(r).(float64)
 			if failed == nil && t > r.Clock() {
 				r.SetPhase(PhaseStall)
 				r.WaitUntil(t)
@@ -229,9 +229,9 @@ func (p *Pipeline) runStage(r *cluster.Rank, s, n int,
 		}
 		if out != nil {
 			if failed != nil {
-				out <- token{err: failed}
+				out.Send(r, token{err: failed})
 			} else {
-				out <- token{val: val, done: r.Clock()}
+				out.Send(r, token{val: val, done: r.Clock()})
 			}
 		}
 	}

@@ -51,9 +51,11 @@ type fetchRequest struct {
 	vertices []int
 }
 
-// fetchResponse returns the requested rows, in request order.
+// fetchResponse returns the requested rows, in request order. The
+// matrix is held by value so a response array needs one allocation, not
+// one per member.
 type fetchResponse struct {
-	rows *dense.Matrix
+	rows dense.Matrix
 }
 
 // Fetch assembles the feature rows of the given global vertices via
@@ -91,16 +93,20 @@ func (fs *FeatureStore) FetchCached(r *cluster.Rank, vertices []int, c cache.Cac
 
 	// Partition the request by owning block row, deduplicating repeats
 	// and remembering every output position each distinct vertex fills.
-	// Cache hits are served immediately from device memory.
+	// Cache hits are served immediately from device memory. A vertex has
+	// exactly one owner, so one position map serves all block rows; the
+	// common single-position case stays allocation-free (firstSlot), and
+	// only genuine repeats spill into the lazy extra-slot table.
+	reqBacking := make([]fetchRequest, members)
 	reqs := make([]*fetchRequest, members)
-	posOf := make([]map[int]int, members) // vertex -> index in reqs[m].vertices
-	slotOf := make([][][]int, members)    // output positions per requested vertex
+	firstSlot := make([][]int, members) // first output position per requested vertex
 	for m := range reqs {
-		reqs[m] = &fetchRequest{}
-		posOf[m] = map[int]int{}
+		reqs[m] = &reqBacking[m]
 	}
+	pos := make(map[int]int, len(vertices)) // vertex -> index in its owner's request
+	var extraSlots map[[2]int][]int         // (owner, pos) -> further output positions
+	var cacheHit map[int]bool               // vertices served from cache this request
 	var cachedBytes int64
-	cacheHit := map[int]bool{} // vertices served from cache this request
 	for i, v := range vertices {
 		if cacheHit[v] {
 			copy(out.RowView(i), fs.global.RowView(v))
@@ -108,19 +114,26 @@ func (fs *FeatureStore) FetchCached(r *cluster.Rank, vertices []int, c cache.Cac
 			continue
 		}
 		owner := graph.BlockOwner(fs.N, members, v)
-		if p, ok := posOf[owner][v]; ok {
-			slotOf[owner][p] = append(slotOf[owner][p], i)
+		if p, ok := pos[v]; ok {
+			if extraSlots == nil {
+				extraSlots = map[[2]int][]int{}
+			}
+			k := [2]int{owner, p}
+			extraSlots[k] = append(extraSlots[k], i)
 			continue
 		}
 		if c != nil && owner != me && c.Lookup(v) {
+			if cacheHit == nil {
+				cacheHit = map[int]bool{}
+			}
 			cacheHit[v] = true
 			copy(out.RowView(i), fs.global.RowView(v))
 			cachedBytes += int64(8 * f)
 			continue
 		}
-		posOf[owner][v] = len(reqs[owner].vertices)
+		pos[v] = len(reqs[owner].vertices)
 		reqs[owner].vertices = append(reqs[owner].vertices, v)
-		slotOf[owner] = append(slotOf[owner], []int{i})
+		firstSlot[owner] = append(firstSlot[owner], i)
 	}
 	if cachedBytes > 0 {
 		r.ChargeMem(cachedBytes)
@@ -130,15 +143,24 @@ func (fs *FeatureStore) FetchCached(r *cluster.Rank, vertices []int, c cache.Cac
 		return 8 * len(q.vertices)
 	})
 
-	// Serve each requester from the local block.
+	// Serve each requester from the local block; all response rows share
+	// one backing allocation.
+	respBacking := make([]fetchResponse, members)
 	resps := make([]*fetchResponse, members)
+	totalRows := 0
+	for _, q := range incoming {
+		totalRows += len(q.vertices)
+	}
+	rowData := make([]float64, totalRows*f)
 	var served int64
 	for m, q := range incoming {
-		rows := dense.New(len(q.vertices), f)
+		rows := dense.Matrix{Rows: len(q.vertices), Cols: f, Data: rowData[:len(q.vertices)*f]}
+		rowData = rowData[len(q.vertices)*f:]
 		for i, v := range q.vertices {
 			copy(rows.RowView(i), fs.H.RowView(v-fs.Lo))
 		}
-		resps[m] = &fetchResponse{rows: rows}
+		respBacking[m] = fetchResponse{rows: rows}
+		resps[m] = &respBacking[m]
 		served += int64(len(q.vertices) * f * 8)
 	}
 	r.ChargeMem(served)
@@ -148,9 +170,10 @@ func (fs *FeatureStore) FetchCached(r *cluster.Rank, vertices []int, c cache.Cac
 	})
 
 	for m, p := range got {
-		for i, slots := range slotOf[m] {
-			for _, slot := range slots {
-				copy(out.RowView(slot), p.rows.RowView(i))
+		for i, slot := range firstSlot[m] {
+			copy(out.RowView(slot), p.rows.RowView(i))
+			for _, extra := range extraSlots[[2]int{m, i}] {
+				copy(out.RowView(extra), p.rows.RowView(i))
 			}
 			if c != nil && m != me {
 				c.Admit(reqs[m].vertices[i])

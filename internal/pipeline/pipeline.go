@@ -67,6 +67,14 @@ type Config struct {
 	// split bandwidth instead of each charging full β.
 	Topology *cluster.Topology
 
+	// Backend selects the simulator's execution backend (set on
+	// Model.Backend): the goroutine backend runs one goroutine per
+	// rank, the discrete-event backend runs the whole cluster as one
+	// event loop (cluster.DESBackend). Results are bit-identical
+	// either way; only wall time differs. Zero resolves $GNN_BACKEND,
+	// then goroutines.
+	Backend cluster.Backend
+
 	// Overlap runs the staged-execution engine in its software-
 	// pipelined mode: bulk sampling and feature fetching for upcoming
 	// minibatches proceed on their own simulated streams (bounded
@@ -145,6 +153,9 @@ func (c Config) withDefaults(d *datasets.Dataset) Config {
 	c.Model.Collectives = c.Model.Collectives.Merge(c.Collectives)
 	if c.Topology != nil {
 		c.Model.Topology = c.Topology
+	}
+	if c.Backend != cluster.DefaultBackend {
+		c.Model.Backend = c.Backend
 	}
 	return c
 }
@@ -361,19 +372,33 @@ func Run(d *datasets.Dataset, cfg Config) (*Result, error) {
 	}
 	world := grid.World()
 
+	// Replicated-state dedup: data-parallel ranks hold bit-identical
+	// parameters and optimizer state at every step, so the simulator
+	// keeps ONE model and ONE Adam for the whole cluster instead of p
+	// replicas. Ranks read the shared parameters concurrently
+	// (Forward/Backward never mutate the model); the single write site
+	// is the optimizer step, which runs exactly once per minibatch
+	// inside the gradient all-reduce (AllReduceSumApply) while every
+	// rank is synchronized in the collective. This removes the
+	// dominant O(p·params) host-side cost per step — the simulated
+	// times and training outcome are unchanged.
+	model := gnn.NewModel(gnn.Config{
+		In:      d.Features.Cols,
+		Hidden:  cfg.Hidden,
+		Classes: d.NumClasses,
+		Layers:  cfg.Layers,
+		Agg:     cfg.Agg,
+		Seed:    cfg.Seed,
+	})
+	if cfg.Dropout > 0 {
+		model.SetDropout(cfg.Dropout, cfg.Seed)
+	}
+	opt := dense.NewAdam(cfg.LR)
+	// Shared all-zero gradient vector contributed by iterations without
+	// a real batch; the collective never mutates members' inputs.
+	zeroGrads := make([]float64, model.NumParams())
+
 	res, err := cl.Run(func(r *cluster.Rank) error {
-		model := gnn.NewModel(gnn.Config{
-			In:      d.Features.Cols,
-			Hidden:  cfg.Hidden,
-			Classes: d.NumClasses,
-			Layers:  cfg.Layers,
-			Agg:     cfg.Agg,
-			Seed:    cfg.Seed,
-		})
-		if cfg.Dropout > 0 {
-			model.SetDropout(cfg.Dropout, cfg.Seed)
-		}
-		opt := dense.NewAdam(cfg.LR)
 		store := stores[r.ID]
 		lossSums[r.ID] = make([]float64, cfg.Epochs)
 		lossCounts[r.ID] = make([]int, cfg.Epochs)
@@ -489,7 +514,7 @@ func Run(d *datasets.Dataset, cfg Config) (*Result, error) {
 						Run: func(rm *cluster.Rank, idx int, in any) (any, error) {
 							ti := in.(trainItem)
 							rm.SetPhase(PhasePropagation)
-							grads := make([]float64, model.NumParams())
+							grads := zeroGrads
 							if ti.bg != nil {
 								act, fwdFlops := model.Forward(ti.bg, ti.feats)
 								labels := make([]int, len(ti.bg.Seeds))
@@ -507,15 +532,19 @@ func Run(d *datasets.Dataset, cfg Config) (*Result, error) {
 
 							// The gradient all-reduce schedule (flat /
 							// ring / hierarchical) is dispatched by the
-							// model's Collectives table.
-							sum := cluster.AllReduceSum(world, rm, grads)
-							inv := 1.0 / float64(cfg.P)
-							for i := range sum {
-								sum[i] *= inv
-							}
-							opt.Step(model.Params(), sum)
-							model.NextDropoutSeed()
-							rm.ChargeDense(int64(3 * len(sum)))
+							// model's Collectives table. The optimizer
+							// step runs once, on the shared model,
+							// inside the collective; every rank still
+							// charges the step's memory traffic.
+							cluster.AllReduceSumApply(world, rm, grads, func(total []float64) {
+								inv := 1.0 / float64(cfg.P)
+								for i := range total {
+									total[i] *= inv
+								}
+								opt.Step(model.Params(), total)
+								model.NextDropoutSeed()
+							})
+							rm.ChargeDense(int64(3 * model.NumParams()))
 							return nil, nil
 						},
 					},
