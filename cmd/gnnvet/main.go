@@ -1,0 +1,113 @@
+// Command gnnvet is the repo's invariant checker: a multichecker over
+// the internal/analysis suite. It mechanically enforces what the
+// goldens and the perf gate only observe after the fact — that every
+// run is a pure function of its config (walltime, globalrand,
+// maporder), that all collective cost flows through the single
+// charging path (charging), and that all blocking is backend-neutral
+// (parkwake).
+//
+// Usage:
+//
+//	go run ./cmd/gnnvet ./...
+//	go run ./cmd/gnnvet -checks charging,parkwake ./...
+//
+// gnnvet always analyzes the whole module containing the working
+// directory (test files included); the ./... argument is accepted for
+// familiarity. Exit status: 0 clean, 1 findings, 2 usage or load
+// failure. Findings are suppressed only by an audited marker:
+//
+//	//gnnvet:allow <check> — <reason>
+//
+// on the flagged line or the line above; a marker without a reason (or
+// naming an unknown check) is itself a finding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	list := flag.Bool("list", false, "list the available checks and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: gnnvet [-checks c1,c2] [./...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.Analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	for _, arg := range flag.Args() {
+		if arg != "./..." && arg != "." {
+			fmt.Fprintf(os.Stderr, "gnnvet: only ./... (the whole module) is supported, got %q\n", arg)
+			os.Exit(2)
+		}
+	}
+	analyzers, err := analysis.ByName(*checks)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gnnvet: %v\n", err)
+		os.Exit(2)
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gnnvet: %v\n", err)
+		os.Exit(2)
+	}
+	loader := &analysis.Loader{IncludeTests: true}
+	pkgs, err := loader.LoadModule(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gnnvet: %v\n", err)
+		os.Exit(2)
+	}
+
+	findings := 0
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunPackage(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gnnvet: %v\n", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			name := pos.Filename
+			if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+			fmt.Printf("%s:%d:%d: %s [%s]\n", name, pos.Line, pos.Column, d.Message, d.Check)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "gnnvet: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

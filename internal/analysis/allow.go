@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// Suppression markers.
+//
+// A finding is silenced by a line comment of the form
+//
+//	//gnnvet:allow <check> — <reason>
+//
+// placed either on the flagged line (trailing comment) or on the line
+// directly above it (standalone comment). The reason is mandatory: a
+// marker without one suppresses nothing and is itself reported, so an
+// allow site can never be waved through unexplained. The separator may
+// be an em dash or "--"/"-". Markers naming a check gnnvet does not
+// ship are reported too — they would otherwise rot silently when a
+// check is renamed.
+
+var allowRe = regexp.MustCompile(`^gnnvet:allow\s+([A-Za-z][A-Za-z0-9_-]*)\s*(?:—|–|--|-)\s*(\S.*)$`)
+
+// allowIndex maps check name -> set of source lines (per file) the
+// check is suppressed on.
+type allowIndex struct {
+	lines map[string]map[lineKey]bool
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// ParseAllows scans the files' comments for gnnvet:allow markers.
+// It returns the suppression index plus diagnostics for malformed
+// markers (missing reason, unknown check name).
+func ParseAllows(fset *token.FileSet, files []*ast.File, known map[string]bool) (*allowIndex, []Diagnostic) {
+	idx := &allowIndex{lines: map[string]map[lineKey]bool{}}
+	var diags []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "gnnvet:allow") {
+					continue
+				}
+				m := allowRe.FindStringSubmatch(text)
+				if m == nil {
+					diags = append(diags, Diagnostic{
+						Pos:   c.Pos(),
+						Check: "allow",
+						Message: "malformed gnnvet:allow marker: want " +
+							"//gnnvet:allow <check> — <reason> (the reason is mandatory)",
+					})
+					continue
+				}
+				check := m[1]
+				if known != nil && !known[check] {
+					diags = append(diags, Diagnostic{
+						Pos:     c.Pos(),
+						Check:   "allow",
+						Message: fmt.Sprintf("gnnvet:allow names unknown check %q", check),
+					})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				set := idx.lines[check]
+				if set == nil {
+					set = map[lineKey]bool{}
+					idx.lines[check] = set
+				}
+				// The marker covers its own line (trailing-comment
+				// form) and the line below (standalone form).
+				set[lineKey{pos.Filename, pos.Line}] = true
+				set[lineKey{pos.Filename, pos.Line + 1}] = true
+			}
+		}
+	}
+	return idx, diags
+}
+
+// Filter drops diagnostics whose (file, line) carries an allow marker
+// for their check.
+func (idx *allowIndex) Filter(fset *token.FileSet, diags []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		set := idx.lines[d.Check]
+		if set != nil {
+			pos := fset.Position(d.Pos)
+			if set[lineKey{pos.Filename, pos.Line}] {
+				continue
+			}
+		}
+		out = append(out, d)
+	}
+	return out
+}

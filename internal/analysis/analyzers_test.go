@@ -1,0 +1,39 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// Each analyzer runs over a want-annotated fixture package under
+// internal/analysis/testdata. The charging and parkwake fixtures load
+// under the real cluster import path because those checks scope
+// themselves by package; the rest use a neutral path.
+func TestWalltime(t *testing.T) {
+	analysistest.Run(t, analysis.Walltime, "testdata/walltime", "repro/fixture")
+}
+
+func TestGlobalRand(t *testing.T) {
+	analysistest.Run(t, analysis.GlobalRand, "testdata/globalrand", "repro/fixture")
+}
+
+func TestCharging(t *testing.T) {
+	analysistest.Run(t, analysis.Charging, "testdata/charging", "repro/internal/cluster")
+}
+
+func TestParkWake(t *testing.T) {
+	analysistest.Run(t, analysis.ParkWake, "testdata/parkwake", "repro/internal/cluster")
+}
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, analysis.MapOrder, "testdata/maporder", "repro/fixture")
+}
+
+// TestAllowMarkers runs the marker-grammar fixture: malformed and
+// unknown-check markers are findings under the "allow" pseudo-check
+// and do not suppress, while a well-formed marker does.
+func TestAllowMarkers(t *testing.T) {
+	analysistest.Run(t, analysis.Walltime, "testdata/allow", "repro/fixture")
+}

@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"go/types"
+)
+
+// GlobalRand forbids the package-level math/rand functions (rand.Intn,
+// rand.Shuffle, rand.Seed, ...) everywhere, tests included. The global
+// generator is process-wide mutable state: any call site perturbs the
+// value stream of every other, so results stop being a function of the
+// run's seed the moment two call sites interleave — and goldens pin
+// results bit-for-bit. Randomness must flow from an explicitly seeded
+// generator: rand.New(rand.NewSource(seed)) or core.RowRNG.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "forbid package-level math/rand functions; seeded *rand.Rand / core.RowRNG only",
+	Run:  runGlobalRand,
+}
+
+// globalRandOK are the constructors that produce explicitly seeded
+// state instead of touching the global generator.
+var globalRandOK = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+func runGlobalRand(pass *Pass) error {
+	for id, obj := range pass.TypesInfo.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			continue
+		}
+		path := fn.Pkg().Path()
+		if path != "math/rand" && path != "math/rand/v2" {
+			continue
+		}
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			continue // methods of *rand.Rand etc. are the sanctioned API
+		}
+		if globalRandOK[fn.Name()] {
+			continue
+		}
+		pass.Reportf(id.Pos(),
+			"global math/rand state: %s.%s draws from the shared process-wide generator, so results depend on unrelated call sites; use a seeded *rand.Rand or core.RowRNG",
+			path, fn.Name())
+	}
+	return nil
+}

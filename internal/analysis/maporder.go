@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder catches Go's randomized map-iteration order leaking into
+// results. The repo's contract is bit-identical output for a given
+// config, and three leak shapes have bitten reviewers before:
+// accumulating floats across a map walk (float addition does not
+// commute in the last ulp), appending map entries to a slice that is
+// never re-sorted, and writing formatted output directly from the
+// walk. All three must iterate sorted keys instead. The one sanctioned
+// unsorted walk is the collect-keys idiom itself —
+//
+//	for k := range m { keys = append(keys, k) }
+//	sort.Strings(keys)
+//
+// — where the append carries exactly the key and the subsequent sort
+// re-establishes order; order-independent bodies (per-key map writes,
+// integer counters, min/max folds) are not flagged.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "order-sensitive map iteration (float folds, appends, direct output) must walk sorted keys",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRange(pass, rng)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkMapRange(pass *Pass, rng *ast.RangeStmt) {
+	keyID, _ := rng.Key.(*ast.Ident)
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			// A nested map walk is assessed on its own.
+			if tv, ok := pass.TypesInfo.Types[n.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, rng, keyID, n)
+		case *ast.CallExpr:
+			if writesOutput(pass, n) {
+				pass.Reportf(n.Pos(),
+					"output written inside map iteration: line order follows Go's randomized map order; iterate sorted keys")
+			}
+		}
+		return true
+	})
+}
+
+// checkMapRangeAssign flags the two order-sensitive assignment shapes
+// inside a map walk: float accumulation and appends that outlive the
+// loop.
+func checkMapRangeAssign(pass *Pass, rng *ast.RangeStmt, keyID *ast.Ident, as *ast.AssignStmt) {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		for _, lhs := range as.Lhs {
+			if !isFloat(pass.TypesInfo.Types[lhs].Type) {
+				continue
+			}
+			// Accumulating into a per-key bucket (b[k] += v with k the
+			// range key) touches each target once; order cannot matter.
+			if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && isIdentUse(pass, ix.Index, keyID) {
+				continue
+			}
+			pass.Reportf(as.Pos(),
+				"float accumulation inside map iteration: float addition rounds differently per order, so the total depends on Go's randomized map order; iterate sorted keys")
+		}
+	case token.ASSIGN, token.DEFINE:
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(pass, call) || i >= len(as.Lhs) {
+				continue
+			}
+			lhs, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pass.TypesInfo.Uses[lhs]
+			if obj == nil {
+				obj = pass.TypesInfo.Defs[lhs]
+			}
+			// Appends into loop-local slices die with the iteration.
+			if obj == nil || (obj.Pos() >= rng.Body.Pos() && obj.Pos() <= rng.Body.End()) {
+				continue
+			}
+			// The collect-keys idiom: appending exactly the key, to be
+			// sorted after the loop.
+			if len(call.Args) == 2 && isIdentUse(pass, call.Args[1], keyID) && !call.Ellipsis.IsValid() {
+				continue
+			}
+			pass.Reportf(as.Pos(),
+				"append inside map iteration: element order follows Go's randomized map order; collect and sort keys first (only `s = append(s, key)` before a sort is order-safe)")
+		}
+	}
+}
+
+// writesOutput reports calls that emit bytes somewhere ordered: the
+// fmt printers that write (Print*/Fprint*; Sprint* is pure) and
+// Write/WriteString/Encode-shaped methods (io.Writer, strings.Builder,
+// json.Encoder, ...).
+func writesOutput(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		name := fn.Name()
+		return strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		switch fn.Name() {
+		case "Write", "WriteString", "WriteByte", "WriteRune", "Encode":
+			return true
+		}
+	}
+	return false
+}
+
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isIdentUse reports whether e is a use of the same object as id.
+func isIdentUse(pass *Pass, e ast.Expr, id *ast.Ident) bool {
+	if id == nil {
+		return false
+	}
+	use, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	want := pass.TypesInfo.Defs[id]
+	if want == nil {
+		want = pass.TypesInfo.Uses[id]
+	}
+	got := pass.TypesInfo.Uses[use]
+	if got == nil {
+		got = pass.TypesInfo.Defs[use]
+	}
+	return want != nil && want == got
+}

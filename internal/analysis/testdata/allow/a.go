@@ -1,0 +1,28 @@
+// Fixture: the suppression-marker grammar itself. A marker without a
+// reason, or naming a check that does not exist, is a finding — and it
+// suppresses nothing, so the underlying finding survives too.
+package fix
+
+import "time"
+
+func missingReason() time.Time {
+	//gnnvet:allow walltime // want `malformed gnnvet:allow marker`
+	return time.Now() // want `wall clock in simulated-time code`
+}
+
+func missingSeparator() time.Time {
+	//gnnvet:allow walltime because the dash separator is mandatory // want `malformed gnnvet:allow marker`
+	return time.Now() // want `wall clock in simulated-time code`
+}
+
+func unknownCheck() time.Time {
+	//gnnvet:allow wallclock — fixture: typo'd check name // want `unknown check "wallclock"`
+	return time.Now() // want `wall clock in simulated-time code`
+}
+
+// A well-formed marker still suppresses here, proving the fixture
+// exercises the same filter gnnvet uses.
+func wellFormed() time.Time {
+	//gnnvet:allow walltime — fixture: well-formed marker, finding suppressed
+	return time.Now()
+}

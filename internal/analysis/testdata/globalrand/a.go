@@ -1,0 +1,30 @@
+// Fixture: the process-wide math/rand generator couples every call
+// site's draws; only seeded generators are reproducible.
+package fix
+
+import "math/rand"
+
+func sharedState(xs []int) int {
+	rand.Seed(7)                           // want `global math/rand state: math/rand\.Seed`
+	rand.Shuffle(len(xs), func(i, j int) { // want `global math/rand state: math/rand\.Shuffle`
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+	if rand.Intn(2) == 0 { // want `global math/rand state: math/rand\.Intn`
+		return rand.Int() // want `global math/rand state: math/rand\.Int draws`
+	}
+	return xs[0]
+}
+
+// Seeded generators are the sanctioned path; the constructors are
+// exempt by name so this function needs no marker.
+func seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// auditedGlobal shows the escape hatch for a site that genuinely wants
+// the shared generator.
+func auditedGlobal() int {
+	//gnnvet:allow globalrand — fixture: audited shared-generator use
+	return rand.Int()
+}

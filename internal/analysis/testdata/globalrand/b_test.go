@@ -1,0 +1,10 @@
+// Fixture: unlike walltime, globalrand covers _test.go files too — a
+// test drawing from the shared generator is order-dependent on every
+// other test.
+package fix
+
+import "math/rand"
+
+func globalInTest() float64 {
+	return rand.Float64() // want `global math/rand state: math/rand\.Float64`
+}

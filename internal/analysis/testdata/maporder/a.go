@@ -1,0 +1,72 @@
+// Fixture: Go randomizes map-iteration order, so order-sensitive loop
+// bodies — float folds, appends that outlive the loop, direct output —
+// must walk sorted keys instead.
+package fix
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+func floatFold(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v // want `float accumulation inside map iteration`
+	}
+	return sum
+}
+
+func unsortedAppend(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v) // want `append inside map iteration`
+	}
+	return out
+}
+
+func directOutput(m map[string]int) {
+	for k := range m {
+		fmt.Fprintln(os.Stdout, k) // want `output written inside map iteration`
+	}
+}
+
+// collectAndSort is the sanctioned idiom: the append carries exactly
+// the range key and the sort after the loop re-establishes order.
+func collectAndSort(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	sum := 0.0
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// Order-independent bodies are fine: integer addition commutes
+// exactly, and a per-key bucket is written once per key.
+func counters(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func perKeyBucket(m map[string]float64, buckets map[string]float64) {
+	for k, v := range m {
+		buckets[k] += v
+	}
+}
+
+// auditedDump shows the escape hatch for output whose order is
+// acknowledged cosmetic.
+func auditedDump(m map[string]int) {
+	for k := range m {
+		//gnnvet:allow maporder — fixture: debug dump, order acknowledged cosmetic
+		fmt.Fprintln(os.Stdout, k)
+	}
+}

@@ -1,0 +1,24 @@
+// Fixture: simulated-time code must not read the wall clock.
+package fix
+
+import "time"
+
+// simLoop stands in for simulator code, where a wall-clock read makes
+// the run a function of the machine instead of the config.
+func simLoop() time.Duration {
+	t0 := time.Now()             // want `wall clock in simulated-time code: time\.Now`
+	time.Sleep(time.Millisecond) // want `wall clock in simulated-time code: time\.Sleep`
+	return time.Since(t0)        // want `wall clock in simulated-time code: time\.Since`
+}
+
+// measured is the audited exception: a marker naming the check and a
+// reason silences the finding on its own line and the line below.
+func measured() time.Duration {
+	//gnnvet:allow walltime — fixture: harness wall-timing, measuring the real clock is the point
+	t0 := time.Now()
+	d := time.Since(t0) //gnnvet:allow walltime — fixture: trailing-marker form
+	return d
+}
+
+// Constructing time values is not a clock read.
+func epoch() time.Time { return time.Unix(0, 0) }

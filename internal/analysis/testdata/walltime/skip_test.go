@@ -1,0 +1,10 @@
+// Fixture: walltime skips _test.go files — tests and benchmarks may
+// time themselves.
+package fix
+
+import "time"
+
+func wallInTest() time.Duration {
+	t0 := time.Now()
+	return time.Since(t0)
+}

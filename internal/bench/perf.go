@@ -133,8 +133,10 @@ func Perf(w io.Writer, o Options) ([]PerfRow, error) {
 		for rep := 0; rep < perfReps; rep++ {
 			var m0, m1 runtime.MemStats
 			runtime.ReadMemStats(&m0)
+			//gnnvet:allow walltime — the perf harness's job is measuring real wall time (sim_sec carries the simulated clock)
 			t0 := time.Now()
 			res, err := pipeline.Run(d, cfg)
+			//gnnvet:allow walltime — wall_sec perf-baseline measurement, not simulated time
 			wall := time.Since(t0).Seconds()
 			runtime.ReadMemStats(&m1)
 			if err != nil {

@@ -190,6 +190,29 @@ func Workstation() CostModel {
 	}
 }
 
+// wireEntry returns the simulated time a transfer's payload hits the
+// wire: the α handshake latency after the entry clock. One of the
+// three helpers point-to-point code prices transfers through — the
+// gnnvet charging check forbids inlined α–β arithmetic outside
+// collectives.go / contention.go / costmodel.go, so the single
+// charging path from PRs 3–4 cannot silently regrow cost sites.
+func (m CostModel) wireEntry(entry float64, l Link) float64 {
+	return entry + m.Alpha[l]
+}
+
+// wireDone returns a point transfer's completion time under the pure
+// α–β model: entry + α + bytes·β, kept in exactly this floating-point
+// association — the goldens pin charging-path results bit-for-bit.
+func (m CostModel) wireDone(entry float64, l Link, bytes int64) float64 {
+	return entry + m.Alpha[l] + float64(bytes)*m.Beta[l]
+}
+
+// wireTime returns the standalone α + bytes·β duration of a point
+// transfer (what ChargeLink advances by on the contention-free path).
+func (m CostModel) wireTime(l Link, bytes int64) float64 {
+	return m.Alpha[l] + float64(bytes)*m.Beta[l]
+}
+
 // node returns the node index hosting the given global rank.
 func (m CostModel) node(rank int) int {
 	if m.GPUsPerNode <= 0 {

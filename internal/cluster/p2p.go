@@ -111,13 +111,13 @@ func Send[T any](c *Cluster, r *Rank, dst, tag int, val T, bytes int) {
 		}
 		if ct := c.cont; ct != nil {
 			fin := ct.transact([]flowReq{{
-				start: entry + c.Model.Alpha[link],
+				start: c.Model.wireEntry(entry, link),
 				bytes: float64(bytes),
 				links: ct.linksFor(r.ID, link),
 			}})
 			slot.done = fin[0]
 		} else {
-			slot.done = entry + c.Model.Alpha[link] + float64(bytes)*c.Model.Beta[link]
+			slot.done = c.Model.wireDone(entry, link, int64(bytes))
 		}
 		slot.completed = true
 		mb.cond.Broadcast()
@@ -251,13 +251,13 @@ func (mb *mailbox) completeDES(c *Cluster, key mailKey, link Link, slot *mailSlo
 	}
 	if ct := c.cont; ct != nil {
 		fin := ct.transact([]flowReq{{
-			start: entry + c.Model.Alpha[link],
+			start: c.Model.wireEntry(entry, link),
 			bytes: float64(slot.bytes),
 			links: ct.linksFor(key.src, link),
 		}})
 		slot.done = fin[0]
 	} else {
-		slot.done = entry + c.Model.Alpha[link] + float64(slot.bytes)*c.Model.Beta[link]
+		slot.done = c.Model.wireDone(entry, link, int64(slot.bytes))
 	}
 	slot.completed = true
 	delete(mb.slots, key)

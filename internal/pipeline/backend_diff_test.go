@@ -2,7 +2,9 @@ package pipeline
 
 import (
 	"math/rand"
+	"os"
 	"reflect"
+	"strconv"
 	"testing"
 
 	"repro/internal/cluster"
@@ -24,6 +26,16 @@ func TestBackendDifferential(t *testing.T) {
 	trials := 1000
 	if testing.Short() {
 		trials = 50
+	}
+	// GNN_DIFFERENTIAL_TRIALS overrides the sweep size: CI's race job
+	// runs a reduced-trial sweep under -race, where each trial costs
+	// roughly an order of magnitude more.
+	if s := os.Getenv("GNN_DIFFERENTIAL_TRIALS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad GNN_DIFFERENTIAL_TRIALS %q: want a positive integer", s)
+		}
+		trials = n
 	}
 	d := datasets.SBM(datasets.SBMConfig{
 		N: 128, Classes: 4, Features: 4,
