@@ -34,6 +34,8 @@ func main() {
 		backend    = flag.String("backend", "default", cluster.BackendFlagUsage)
 		perfOut    = flag.String("perfout", "", "perf experiment: write the measured rows as a new baseline file (BENCH_*.json)")
 		perfBase   = flag.String("perfbaseline", "", "perf experiment: compare against this committed baseline and fail on >25% wall-time regression")
+		perfReps   = flag.String("perfreps", "default", "perf experiment: repetitions per workload (reported as wall min and median; baselines are captured at the default, 5)")
+		sweepWorks = flag.String("sweepworkers", "default", "worker-pool size for sweep experiments (scaling): default = one per CPU, 1 = serial; tables are byte-identical at any setting")
 	)
 	flag.Parse()
 
@@ -53,8 +55,29 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	workers, err := cliutil.ParseSweepWorkers(*sweepWorks)
+	if err != nil {
+		fatal(err)
+	}
+	reps, err := cliutil.ParsePerfReps(*perfReps)
+	if err != nil {
+		fatal(err)
+	}
+	// Experiment-scoped flags error out under any other experiment
+	// instead of silently doing nothing.
+	for _, c := range []struct{ name, value, want string }{
+		{"perfout", *perfOut, "perf"},
+		{"perfbaseline", *perfBase, "perf"},
+		{"perfreps", *perfReps, "perf"},
+		{"sweepworkers", *sweepWorks, "scaling"},
+	} {
+		if err := cliutil.RequireExperiment(c.name, c.value, *experiment, c.want); err != nil {
+			fatal(err)
+		}
+	}
 	opts := bench.Options{Profile: prof, MaxBatches: *maxBatches, Seed: *seed, Overlap: *overlap,
-		Collectives: coll, Topology: topo, Backend: be}
+		Collectives: coll, Topology: topo, Backend: be,
+		SweepWorkers: workers, PerfReps: reps}
 	if *gpus != "" {
 		counts, err := cliutil.ParseGPUCounts(*gpus)
 		if err != nil {

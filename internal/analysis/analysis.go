@@ -175,6 +175,7 @@ var Analyzers = []*Analyzer{
 	Charging,
 	ParkWake,
 	MapOrder,
+	Benchpool,
 }
 
 // ByName resolves a comma-separated -checks selection against the

@@ -31,6 +31,10 @@ func TestMapOrder(t *testing.T) {
 	analysistest.Run(t, analysis.MapOrder, "testdata/maporder", "repro/fixture")
 }
 
+func TestBenchpool(t *testing.T) {
+	analysistest.Run(t, analysis.Benchpool, "testdata/benchpool", "repro/internal/bench")
+}
+
 // TestAllowMarkers runs the marker-grammar fixture: malformed and
 // unknown-check markers are findings under the "allow" pseudo-check
 // and do not suppress, while a well-formed marker does.

@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Benchpool confines the bench harness's concurrency to the worker-pool
+// seam (internal/bench/pool.go). A sweep experiment that spawns its own
+// goroutines or plumbs channels re-derives — usually wrongly — the
+// properties runCells already guarantees: deterministic result
+// ordering, per-cell panic isolation, and a worker count bounded by the
+// -sweepworkers flag. The invariant shipped with the pool itself, per
+// the ROADMAP rule that every new invariant gets an analyzer: future
+// experiments inherit parallelism by enumerating cells and folding in
+// order, never by hand-rolled fan-out.
+var Benchpool = &Analyzer{
+	Name: "benchpool",
+	Doc:  "confine goroutines and channel plumbing in internal/bench to the worker-pool seam (pool.go)",
+	Run:  runBenchpool,
+}
+
+const (
+	benchpoolScope = "repro/internal/bench"
+	benchpoolSeam  = "pool.go"
+)
+
+func runBenchpool(pass *Pass) error {
+	if pass.Pkg == nil || pass.Pkg.Path() != benchpoolScope {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue // tests may orchestrate concurrency to probe the pool
+		}
+		if pass.Filename(f) == benchpoolSeam {
+			continue // the one audited concurrency seam
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "goroutine outside the pool seam: run sweep cells through runCells (pool.go), which already gives deterministic ordering, panic isolation and the -sweepworkers bound")
+			case *ast.SelectStmt:
+				pass.Reportf(n.Pos(), "select outside the pool seam: channel fan-out belongs behind runCells (pool.go)")
+			case *ast.SendStmt:
+				pass.Reportf(n.Pos(), "channel send outside the pool seam: result plumbing belongs behind runCells (pool.go), which folds results in cell order")
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					pass.Reportf(n.Pos(), "channel receive outside the pool seam: result plumbing belongs behind runCells (pool.go), which folds results in cell order")
+				}
+			case *ast.ChanType:
+				pass.Reportf(n.Pos(), "channel type outside the pool seam: the bench harness's one concurrency primitive is runCells (pool.go)")
+			case *ast.RangeStmt:
+				if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						pass.Reportf(n.Pos(), "range over a channel outside the pool seam: result plumbing belongs behind runCells (pool.go)")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

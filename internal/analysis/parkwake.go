@@ -50,21 +50,22 @@ var parkWakeExemptFiles = map[string]bool{
 type parkKey struct{ pkg, recv, name string }
 
 var parkCalls = map[parkKey]bool{
-	{clusterPath, "", "Barrier"}:           true,
-	{clusterPath, "", "Broadcast"}:         true,
-	{clusterPath, "", "AllGather"}:         true,
-	{clusterPath, "", "Gather"}:            true,
-	{clusterPath, "", "Scatter"}:           true,
-	{clusterPath, "", "AllToAllv"}:         true,
-	{clusterPath, "", "AllReduceSum"}:      true,
-	{clusterPath, "", "AllReduceSumApply"}: true,
-	{clusterPath, "", "AllReduceGeneric"}:  true,
-	{clusterPath, "", "Send"}:              true,
-	{clusterPath, "", "Recv"}:              true,
-	{clusterPath, "Queue", "Send"}:         true,
-	{clusterPath, "Queue", "Recv"}:         true,
-	{clusterPath, "Forked", "Join"}:        true,
-	{clusterPath + "/sim", "Task", "Park"}: true,
+	{clusterPath, "", "Barrier"}:              true,
+	{clusterPath, "", "Broadcast"}:            true,
+	{clusterPath, "", "AllGather"}:            true,
+	{clusterPath, "", "Gather"}:               true,
+	{clusterPath, "", "Scatter"}:              true,
+	{clusterPath, "", "AllToAllv"}:            true,
+	{clusterPath, "", "AllReduceSum"}:         true,
+	{clusterPath, "", "AllReduceSumApply"}:    true,
+	{clusterPath, "", "AllReduceGeneric"}:     true,
+	{clusterPath, "", "AllReduceGenericInto"}: true,
+	{clusterPath, "", "Send"}:                 true,
+	{clusterPath, "", "Recv"}:                 true,
+	{clusterPath, "Queue", "Send"}:            true,
+	{clusterPath, "Queue", "Recv"}:            true,
+	{clusterPath, "Forked", "Join"}:           true,
+	{clusterPath + "/sim", "Task", "Park"}:    true,
 }
 
 func runParkWake(pass *Pass) error {

@@ -1,0 +1,30 @@
+// Fixture: pool.go is the audited concurrency seam — its goroutines
+// and synchronization are the implementation every experiment is
+// steered toward, so the file is exempt wholesale.
+package bench
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+func runCells(n, workers int, fn func(cell int) error) []error {
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return errs
+}

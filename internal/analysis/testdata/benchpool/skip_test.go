@@ -1,0 +1,9 @@
+// Fixture: benchpool skips _test.go files — tests may orchestrate
+// concurrency to probe the pool itself.
+package bench
+
+func chanInTest() {
+	ch := make(chan int, 1)
+	go func() { ch <- 1 }()
+	<-ch
+}

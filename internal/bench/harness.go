@@ -9,6 +9,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 
 	"repro/internal/baseline"
@@ -55,6 +56,18 @@ type Options struct {
 	// only practical under the DES backend. Zero resolves
 	// $GNN_BACKEND, then goroutines.
 	Backend cluster.Backend
+
+	// SweepWorkers bounds the worker pool the sweep experiments run
+	// their cells on (see runCells): 0 defaults to GOMAXPROCS, 1 runs
+	// serially. Tables are byte-identical at any setting — cells are
+	// independent simulations and fold in enumeration order.
+	SweepWorkers int
+
+	// PerfReps is how many times the perf suite repeats each pinned
+	// workload before taking the wall-clock min and median; 0 means
+	// the committed default (5, what BENCH_*.json baselines are
+	// captured with).
+	PerfReps int
 }
 
 func (o Options) withDefaults() Options {
@@ -73,6 +86,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = 20240101
+	}
+	if o.SweepWorkers == 0 {
+		o.SweepWorkers = runtime.GOMAXPROCS(0)
+	}
+	if o.PerfReps == 0 {
+		o.PerfReps = perfReps
 	}
 	return o
 }

@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"time"
 
@@ -30,6 +31,13 @@ type PerfRow struct {
 	// the standard noise-robust statistic (scheduler interference only
 	// ever adds time).
 	WallSec float64 `json:"wall_sec"`
+	// WallMedianSec is the median wall-clock seconds over the same
+	// repetitions, reported beside the min so a noisy capture is
+	// visible in the baseline itself (a median far above the min means
+	// the host was contended). Optional for schema compatibility:
+	// baselines captured before the field existed simply omit it, and
+	// the gate never compares it.
+	WallMedianSec float64 `json:"wall_median_sec,omitempty"`
 	// SimSec is the run's simulated makespan — deterministic given the
 	// seed, compared exactly against the baseline.
 	SimSec float64 `json:"sim_sec"`
@@ -98,24 +106,35 @@ func perfMatrix() []perfCase {
 		{"epoch-partitioned-small-p16-des", datasets.Small,
 			pipeline.Config{P: 16, C: 2, K: pipeline.KAll, Epochs: 1, Seed: 20240101,
 				Algorithm: pipeline.GraphPartitioned, SparsityAware: true, Backend: des}},
+		// Large-p partitioned row at c=CMax(512)=16 — the replication
+		// factor that keeps the 1.5D grid tractable past p=512 (the
+		// scaling study's cmax series; fixed c=2 is the regime whose
+		// blow-up the cap message documents). Guards the arena hot path
+		// under many small per-rank frontiers, not just the p=16 shape.
+		{"epoch-partitioned-tiny-p512-des", datasets.Tiny,
+			pipeline.Config{P: 512, C: 16, K: pipeline.KAll, Epochs: 1, Seed: 20240101,
+				Algorithm: pipeline.GraphPartitioned, SparsityAware: true, Backend: des}},
 		{"epoch-contention-tiny-p128-oversub-des", datasets.Tiny,
 			pipeline.Config{P: 128, C: 8, K: pipeline.KAll, Epochs: 1, Seed: 20240101,
 				Topology: oversub, Backend: des}},
 	}
 }
 
-// perfReps is how many times each workload runs; the wall-clock
-// minimum damps scheduler noise while keeping the suite CI-cheap.
+// perfReps is the default repetition count per workload; the
+// wall-clock minimum damps scheduler noise while keeping the suite
+// CI-cheap. Options.PerfReps (-perfreps) overrides it.
 const perfReps = 5
 
 // Perf measures the pinned workload matrix and prints one row per
-// workload. Options contributes only the cost model; the matrix's
-// sizes, seeds and topologies are pinned so baselines stay comparable.
+// workload. Options contributes only the cost model and the
+// repetition count; the matrix's sizes, seeds and topologies are
+// pinned so baselines stay comparable.
 func Perf(w io.Writer, o Options) ([]PerfRow, error) {
 	o = o.withDefaults()
-	fmt.Fprintf(w, "Simulator perf suite (GOMAXPROCS=%d, %d reps, wall min)\n", runtime.GOMAXPROCS(0), perfReps)
-	fmt.Fprintf(w, "%-36s %10s %12s %14s %10s %8s\n",
-		"workload", "wall-sec", "sim-sec", "alloc-bytes", "allocs", "ledger")
+	reps := o.PerfReps
+	fmt.Fprintf(w, "Simulator perf suite (GOMAXPROCS=%d, %d reps, wall min/median)\n", runtime.GOMAXPROCS(0), reps)
+	fmt.Fprintf(w, "%-40s %10s %10s %12s %14s %10s %8s\n",
+		"workload", "wall-sec", "wall-med", "sim-sec", "alloc-bytes", "allocs", "ledger")
 	var rows []PerfRow
 	for _, pc := range perfMatrix() {
 		d, err := datasets.ByName("products", pc.prof)
@@ -129,8 +148,8 @@ func Perf(w io.Writer, o Options) ([]PerfRow, error) {
 			return nil, fmt.Errorf("bench: perf %s: %w", pc.name, err)
 		}
 		row := PerfRow{Name: pc.name}
-		walls := make([]float64, 0, perfReps)
-		for rep := 0; rep < perfReps; rep++ {
+		walls := make([]float64, 0, reps)
+		for rep := 0; rep < reps; rep++ {
 			var m0, m1 runtime.MemStats
 			runtime.ReadMemStats(&m0)
 			//gnnvet:allow walltime — the perf harness's job is measuring real wall time (sim_sec carries the simulated clock)
@@ -159,9 +178,10 @@ func Perf(w io.Writer, o Options) ([]PerfRow, error) {
 			row.LedgerPeak = res.Cluster.LedgerPeakSpans
 		}
 		row.WallSec = minOf(walls)
+		row.WallMedianSec = medianOf(walls)
 		rows = append(rows, row)
-		fmt.Fprintf(w, "%-36s %10.3f %12.6g %14d %10d %8d\n",
-			row.Name, row.WallSec, row.SimSec, row.AllocBytes, row.Allocs, row.LedgerPeak)
+		fmt.Fprintf(w, "%-40s %10.3f %10.3f %12.6g %14d %10d %8d\n",
+			row.Name, row.WallSec, row.WallMedianSec, row.SimSec, row.AllocBytes, row.Allocs, row.LedgerPeak)
 	}
 	return rows, nil
 }
@@ -174,6 +194,16 @@ func minOf(xs []float64) float64 {
 		}
 	}
 	return m
+}
+
+func medianOf(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
 }
 
 // WritePerfBaseline writes rows as a BENCH_*.json baseline file.

@@ -100,9 +100,23 @@ func TestScalingTinySmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 2 modes x 2 algorithms x 3 collectives x 2 topologies x 2 p.
-	if want := 2 * 2 * 3 * 2 * 2; len(rows) != want {
+	// 2 modes x 3 collectives x 2 topologies x 5 algorithm-p cells:
+	// replicated and partitioned-c=2 run both counts; the cmax series
+	// runs only p=512 (c=16), since CMax(8)=2 duplicates the c=2 row.
+	if want := 2 * 3 * 2 * 5; len(rows) != want {
 		t.Fatalf("got %d rows, want %d", len(rows), want)
+	}
+	sawCmax := false
+	for _, r := range rows {
+		if r.Algorithm == "partitioned-cmax" {
+			sawCmax = true
+			if r.P != 512 || r.C != 16 {
+				t.Fatalf("cmax row at wrong grid: %+v", r)
+			}
+		}
+	}
+	if !sawCmax {
+		t.Fatal("no partitioned-cmax rows in the sweep")
 	}
 	for _, r := range rows {
 		if r.EpochSec <= 0 {

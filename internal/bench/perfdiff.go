@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// PerfDelta is one workload's before/after comparison between two perf
+// baselines.
+type PerfDelta struct {
+	Name string
+	// Status is "ok", "fail" (at least one gate threshold breached),
+	// "missing" (in before only) or "new" (in after only).
+	Status string
+	// WallPct / AllocBytesPct / AllocsPct are after-vs-before relative
+	// changes in percent (positive = regression direction).
+	WallPct       float64
+	AllocBytesPct float64
+	AllocsPct     float64
+	// SimDrift is the relative simulated-seconds difference; anything
+	// above 1e-9 is a determinism breach.
+	SimDrift float64
+}
+
+// PerfDiff compares two perf baselines workload by workload, prints a
+// delta table to w, and returns the deltas plus whether any workload
+// breached a gate threshold. The verdict columns reuse the regression
+// gate's committed constants (PerfWallTolerance + the absolute slack,
+// perfAllocTolerance, the simulated-seconds drift bound), so a FAIL
+// here is exactly what PerfGate would fail on the same numbers — the
+// point of the tool is seeing the margins even when the gate passes.
+func PerfDiff(w io.Writer, before, after *PerfBaseline) ([]PerfDelta, bool) {
+	fmt.Fprintf(w, "%-40s %18s %14s %14s %12s %6s\n",
+		"workload", "wall-sec", "alloc-bytes", "allocs", "sim-drift", "gate")
+	byName := map[string]PerfRow{}
+	for _, r := range after.Rows {
+		byName[r.Name] = r
+	}
+	var deltas []PerfDelta
+	breached := false
+	for _, b := range before.Rows {
+		a, ok := byName[b.Name]
+		if !ok {
+			deltas = append(deltas, PerfDelta{Name: b.Name, Status: "missing"})
+			fmt.Fprintf(w, "%-40s missing from the after baseline\n", b.Name)
+			breached = true
+			continue
+		}
+		delete(byName, b.Name)
+		d := PerfDelta{
+			Name:          b.Name,
+			Status:        "ok",
+			WallPct:       pctChange(a.WallSec, b.WallSec),
+			AllocBytesPct: pctChange(float64(a.AllocBytes), float64(b.AllocBytes)),
+			AllocsPct:     pctChange(float64(a.Allocs), float64(b.Allocs)),
+			SimDrift:      relDiff(a.SimSec, b.SimSec),
+		}
+		if (b.WallSec > 0 && a.WallSec > b.WallSec*PerfWallTolerance+perfWallSlack) ||
+			(b.Allocs > 0 && float64(a.Allocs) > float64(b.Allocs)*perfAllocTolerance) ||
+			d.SimDrift > 1e-9 {
+			d.Status = "fail"
+			breached = true
+		}
+		deltas = append(deltas, d)
+		drift := "exact"
+		if d.SimDrift > 1e-9 {
+			drift = fmt.Sprintf("%.3g", d.SimDrift)
+		}
+		fmt.Fprintf(w, "%-40s %8.3f>%8.3f%+6.1f%% %+13.1f%% %+13.1f%% %12s %6s\n",
+			d.Name, b.WallSec, a.WallSec, d.WallPct, d.AllocBytesPct, d.AllocsPct, drift, verdict(d.Status))
+	}
+	// Workloads only the after baseline has (a grown matrix): listed
+	// for completeness, never a failure.
+	for _, a := range after.Rows {
+		if _, ok := byName[a.Name]; !ok {
+			continue
+		}
+		deltas = append(deltas, PerfDelta{Name: a.Name, Status: "new"})
+		fmt.Fprintf(w, "%-40s %8s>%8.3f (new workload)\n", a.Name, "-", a.WallSec)
+	}
+	return deltas, breached
+}
+
+func pctChange(after, before float64) float64 {
+	if before == 0 {
+		return 0
+	}
+	return (after - before) / before * 100
+}
+
+func verdict(status string) string {
+	if status == "ok" {
+		return "OK"
+	}
+	return "FAIL"
+}

@@ -1,0 +1,63 @@
+// Worker pool for sweep experiments. This file is the package's one
+// concurrency seam: the benchpool analyzer (internal/analysis) rejects
+// goroutine spawns and channel plumbing anywhere else in the package,
+// so every parallel sweep funnels through runCells and inherits its
+// determinism and panic-isolation guarantees.
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// runCells executes fn(0..n-1) on a pool of at most workers OS-level
+// goroutines and returns the per-cell errors indexed by cell. Cells
+// must be independent — the pool gives no ordering between them — and
+// callers recover determinism by folding results in cell order
+// afterwards, which is why parallel sweeps print tables byte-identical
+// to serial ones. workers <= 1 (or n <= 1) runs inline with no
+// goroutines at all. A panicking cell is isolated: its panic is
+// recovered into its error slot and the remaining cells keep running.
+func runCells(n, workers int, fn func(cell int) error) []error {
+	errs := make([]error, n)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = runCell(i, fn)
+		}
+		return errs
+	}
+	// Work-stealing by atomic counter: no channels, no per-cell
+	// goroutine churn, and cells are claimed in index order so early
+	// (typically cheaper) cells start first.
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = runCell(i, fn)
+			}
+		}()
+	}
+	wg.Wait()
+	return errs
+}
+
+// runCell runs one cell, converting a panic into its error.
+func runCell(i int, fn func(int) error) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("bench: sweep cell %d panicked: %v", i, p)
+		}
+	}()
+	return fn(i)
+}

@@ -64,3 +64,54 @@ func ParseGPUCounts(s string) ([]int, error) {
 	}
 	return counts, nil
 }
+
+// ParseSweepWorkers parses a -sweepworkers flag: the worker-pool size
+// the sweep experiments run their cells on. Empty and "default" mean
+// one worker per CPU (GOMAXPROCS, resolved at run time, so 0 is
+// returned here); 1 pins the sweep serial. Zero and negative counts
+// are rejected rather than silently serialized — a miscomputed
+// $(nproc) in a CI script should fail loudly.
+func ParseSweepWorkers(s string) (int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "default" {
+		return 0, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad sweep worker count %q (want a positive integer or \"default\")", s)
+	}
+	if v < 1 {
+		return 0, fmt.Errorf("bad sweep worker count %d: must be at least 1 (1 = serial)", v)
+	}
+	return v, nil
+}
+
+// ParsePerfReps parses a -perfreps flag: how many times the perf suite
+// repeats each pinned workload before taking the min and median. Empty
+// and "default" mean the harness default (returned as 0).
+func ParsePerfReps(s string) (int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "default" {
+		return 0, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad perf rep count %q (want a positive integer or \"default\")", s)
+	}
+	if v < 1 {
+		return 0, fmt.Errorf("bad perf rep count %d: must be at least 1", v)
+	}
+	return v, nil
+}
+
+// RequireExperiment rejects a flag scoped to one experiment when a
+// different experiment is selected. Silently ignoring -perfout on a
+// scaling run (say) would drop the baseline file the caller asked
+// for — contradictory flag combinations are errors, not no-ops. A
+// value of "" or "default" counts as unset.
+func RequireExperiment(flagName, value, experiment, want string) error {
+	if value == "" || value == "default" || experiment == want {
+		return nil
+	}
+	return fmt.Errorf("-%s applies only to -experiment %s (selected: %s)", flagName, want, experiment)
+}

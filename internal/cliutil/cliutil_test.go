@@ -74,6 +74,77 @@ func TestParseGPUCountsRejects(t *testing.T) {
 	}
 }
 
+func TestParseSweepWorkersAccepts(t *testing.T) {
+	cases := map[string]int{
+		"":          0, // unset -> GOMAXPROCS at run time
+		"default":   0,
+		" default ": 0,
+		"1":         1, // serial
+		"2":         2,
+		" 8 ":       8,
+		"128":       128,
+	}
+	for in, want := range cases {
+		got, err := ParseSweepWorkers(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSweepWorkers(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+}
+
+func TestParseSweepWorkersRejects(t *testing.T) {
+	for _, in := range []string{"0", "-1", "-8", "two", "1.5", "4,8", "8x", "GOMAXPROCS"} {
+		if _, err := ParseSweepWorkers(in); err == nil {
+			t.Errorf("ParseSweepWorkers(%q) accepted", in)
+		}
+	}
+}
+
+func TestParsePerfRepsAccepts(t *testing.T) {
+	cases := map[string]int{"": 0, "default": 0, "1": 1, "5": 5, " 9 ": 9}
+	for in, want := range cases {
+		got, err := ParsePerfReps(in)
+		if err != nil || got != want {
+			t.Errorf("ParsePerfReps(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+}
+
+func TestParsePerfRepsRejects(t *testing.T) {
+	for _, in := range []string{"0", "-5", "five", "2.5", "3,5"} {
+		if _, err := ParsePerfReps(in); err == nil {
+			t.Errorf("ParsePerfReps(%q) accepted", in)
+		}
+	}
+}
+
+// Contradictory flag combinations: experiment-scoped flags must error,
+// not no-op, when another experiment is selected.
+func TestRequireExperimentTable(t *testing.T) {
+	accept := []struct{ flag, value, experiment, want string }{
+		{"perfout", "", "scaling", "perf"},         // unset anywhere
+		{"perfreps", "default", "scaling", "perf"}, // default anywhere
+		{"perfout", "BENCH_0009.json", "perf", "perf"},
+		{"perfbaseline", "BENCH_0008.json", "perf", "perf"},
+		{"perfreps", "9", "perf", "perf"},
+	}
+	for _, c := range accept {
+		if err := RequireExperiment(c.flag, c.value, c.experiment, c.want); err != nil {
+			t.Errorf("RequireExperiment(%q, %q, %q, %q) rejected: %v", c.flag, c.value, c.experiment, c.want, err)
+		}
+	}
+	reject := []struct{ flag, value, experiment, want string }{
+		{"perfout", "BENCH_0009.json", "scaling", "perf"},
+		{"perfbaseline", "BENCH_0008.json", "all", "perf"},
+		{"perfreps", "9", "fig4", "perf"},
+	}
+	for _, c := range reject {
+		if err := RequireExperiment(c.flag, c.value, c.experiment, c.want); err == nil {
+			t.Errorf("RequireExperiment(%q, %q, %q, %q) accepted", c.flag, c.value, c.experiment, c.want)
+		}
+	}
+}
+
 // -allreduce / -alltoall accept/reject tables: the CLIs hand these
 // straight to cluster.ParseCollectives, pinned here so a vocabulary
 // change cannot slip past the shared flag surface unnoticed.

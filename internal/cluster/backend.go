@@ -71,6 +71,15 @@ func ParseBackend(s string) (Backend, error) {
 	return 0, fmt.Errorf("cluster: unknown backend %q (want default, goroutine or des)", s)
 }
 
+// Resolve returns the concrete backend this selection executes as:
+// explicit > $GNN_BACKEND > goroutine. Exported for harness layers
+// that need the execution mode before any cluster exists — the sweep
+// worker pool keeps goroutine-backend cells with a contended topology
+// off the pool, because the contention ledger commits in real lock
+// order and concurrent sibling cells would perturb it (the DES
+// backend's single event loop per cluster is immune).
+func (b Backend) Resolve() Backend { return resolveBackend(b) }
+
 // resolveBackend turns an unset selection into a concrete backend:
 // explicit > $GNN_BACKEND > goroutine. An unparsable environment value
 // is ignored rather than fatal — the environment is a convenience

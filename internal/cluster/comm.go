@@ -724,6 +724,55 @@ func AllReduceGeneric[T any](c *Comm, r *Rank, val T, bytes int, combine func(a,
 	return acc
 }
 
+// AllReduceGenericInto is AllReduceGeneric with the fold run once,
+// inside the rendezvous, by a caller-supplied reducer that writes each
+// member's private result into that member's destination (the same
+// move allReduceSumAlgShared made for the elementwise sum — O(n)
+// combines total instead of every member redoing all n). reduce
+// receives the contributions and the destinations in member order and
+// must leave every destination holding the full fold; each member
+// returns its own destination, free to mutate. Because the fold
+// completes before any member leaves the collective — while every
+// member is parked, its buffers quiescent — a caller may contribute
+// and receive epoch-persistent arena storage: the property the 1.5D
+// SpGEMM's accumulator and result arenas rely on. The charged time and
+// traffic are identical to AllReduceGeneric.
+func AllReduceGenericInto[T, D any](c *Comm, r *Rank, val T, bytes int, dest D, reduce func(vals []T, dests []D)) D {
+	alg := c.allReduceAlg()
+	if alg != Ring {
+		alg = FlatTree
+	}
+	type contrib struct {
+		val  T
+		dest D
+	}
+	slots := c.exchangeTransform(r, "allreduce-generic", slot{clock: r.clock, val: contrib{val, dest}, bytes: bytes},
+		func(slots []slot) []slot {
+			vals := make([]T, len(slots))
+			dests := make([]D, len(slots))
+			for i, s := range slots {
+				cb := s.val.(contrib)
+				vals[i], dests[i] = cb.val, cb.dest
+			}
+			reduce(vals, dests)
+			maxBytes := 0
+			for _, s := range slots {
+				if s.bytes > maxBytes {
+					maxBytes = s.bytes
+				}
+			}
+			for i := range slots {
+				slots[i].val = dests[i]
+				slots[i].bytes = maxBytes
+			}
+			return slots
+		})
+	entry := maxClock(slots)
+	me := c.LocalIndex(r)
+	c.chargeCollective(r, "allreduce-generic", entry, allReduceCost(c, alg, slots[me].bytes, bytes))
+	return slots[me].val.(D)
+}
+
 // allReduceSumHier is the hierarchical (two-level) sum all-reduce,
 // selected by CostModel.Collectives.AllReduce = Hierarchical: members
 // reduce within their node at the NVLink tier, node leaders all-reduce

@@ -1,0 +1,93 @@
+package distsample
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/sparse"
+)
+
+// The stage arenas persist across sampling calls on a PartitionedSet
+// (pipeline.Run builds the set once and samples from it all epoch,
+// every epoch). These tests pin the reuse contract: a pass over warm
+// arenas — buffers grown and dirtied by a previous pass — must be
+// bit-identical, in both samples and simulated charges, to the same
+// pass over a fresh set, on both execution backends.
+
+// runTwoPasses samples twice from the same cluster run and returns the
+// second pass's samples plus the final simulated clock. When warm is
+// true the second pass reuses the first pass's set (arenas dirty);
+// otherwise it gets a freshly built set, the cold control.
+func runTwoPasses(t *testing.T, be cluster.Backend, algo string, a *sparse.CSR,
+	batches [][]int, warm bool) ([]*core.BulkSample, float64) {
+	t.Helper()
+	const p, c = 8, 2
+	m := cluster.Perlmutter()
+	m.Backend = be
+	cl := cluster.New(p, m)
+	g := cluster.NewGrid(cl, p, c)
+	setA := NewPartitionedSet(g, a, true)
+	setB := setA
+	if !warm {
+		setB = NewPartitionedSet(g, a, true)
+	}
+	results := make([]*core.BulkSample, p)
+	sample := func(r *cluster.Rank, set []*Partitioned) *core.BulkSample {
+		local := LocalBatches(g, r.ID, batches)
+		switch algo {
+		case "sage":
+			return SampleSAGEPartitioned(r, set[r.ID], local, []int{3, 2}, 99)
+		case "ladies":
+			return SampleLADIESPartitioned(r, set[r.ID], local, 5, 2, 99)
+		default:
+			return SampleFastGCNPartitioned(r, set[r.ID], local, 5, 2, 99)
+		}
+	}
+	res, err := cl.Run(func(r *cluster.Rank) error {
+		sample(r, setA)
+		results[r.ID] = sample(r, setB)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results, res.SimTime
+}
+
+func TestArenaReuseBitIdentical(t *testing.T) {
+	a := testGraph(150, 10, 7)
+	batches := makeBatches(8, 4, 150)
+	for _, be := range []cluster.Backend{cluster.GoroutineBackend, cluster.DESBackend} {
+		for _, algo := range []string{"sage", "ladies", "fastgcn"} {
+			warm, warmSim := runTwoPasses(t, be, algo, a, batches, true)
+			cold, coldSim := runTwoPasses(t, be, algo, a, batches, false)
+			if warmSim != coldSim {
+				t.Errorf("%v/%s: warm-arena sim clock %.17g, fresh-arena %.17g", be, algo, warmSim, coldSim)
+			}
+			for rank := range warm {
+				if err := sameBulk(warm[rank], cold[rank]); err != nil {
+					t.Errorf("%v/%s rank %d: warm arenas changed the sample: %v", be, algo, rank, err)
+				}
+			}
+		}
+	}
+}
+
+// A warm second pass must also still match the local-sampling oracle —
+// reuse may not trade correctness for allocation.
+func TestArenaReuseMatchesLocalOracle(t *testing.T) {
+	a := testGraph(150, 10, 8)
+	batches := makeBatches(8, 4, 150)
+	results, _ := runTwoPasses(t, cluster.GoroutineBackend, "sage", a, batches, true)
+	const p, c = 8, 2
+	cl := cluster.New(p, cluster.Perlmutter())
+	g := cluster.NewGrid(cl, p, c)
+	for rank := 0; rank < p; rank++ {
+		local := LocalBatches(g, rank, batches)
+		want := core.SampleBulk(core.SAGE{}, a, local, []int{3, 2}, 99)
+		if err := sameBulk(results[rank], want); err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+}

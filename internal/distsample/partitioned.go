@@ -52,6 +52,12 @@ type Partitioned struct {
 	// per-block degree vectors once at startup (n integers — tiny next
 	// to the graph).
 	Degrees []int
+
+	// arenas holds the epoch-persistent per-rank workspaces of the c
+	// replicas sharing this block row, indexed by grid column (each
+	// replica of a process row has a distinct column). See stageArena
+	// for the reuse-safety argument.
+	arenas []*stageArena
 }
 
 // NewPartitionedSet slices A into the grid's block rows, returning the
@@ -76,6 +82,7 @@ func NewPartitionedSet(g *cluster.Grid, a *sparse.CSR, sparsityAware bool) []*Pa
 			Hi:            hi,
 			SparsityAware: sparsityAware,
 			Degrees:       degrees,
+			arenas:        make([]*stageArena, g.C),
 		}
 	}
 	out := make([]*Partitioned, g.P)
@@ -102,7 +109,10 @@ func payloadBytes(p *rowPayload) int {
 // the staged block algorithm of Algorithm 2 on the process grid. Q's
 // columns span the full vertex range [0, N). The result is the full
 // product for this rank's rows, identical on all c replicas of the
-// process row after the final all-reduce. The collective schedules —
+// process row after the final all-reduce. It is private to the calling
+// rank (safe to mutate) but aliases the rank's epoch-persistent arena:
+// it is valid only until the rank's next SpGEMM15D call on this set,
+// and must not be passed back in as Q. The collective schedules —
 // the per-stage gathers/scatters and the row all-reduce — charge under
 // the cost model's Collectives table (cluster.CollectiveAlgorithm), so
 // algorithm comparisons reach the 1.5D sampling path without any
@@ -118,11 +128,28 @@ func (ps *Partitioned) SpGEMM15D(r *cluster.Rank, q *sparse.CSR) *sparse.CSR {
 	colComm := g.ColComm(r.ID).ForStream(r)
 	rowComm := g.RowComm(r.ID).ForStream(r)
 
-	acc := sparse.Zero(q.Rows, ps.N)
+	// All buffers below come from the rank's epoch-persistent arena;
+	// every charge and collective is unchanged from the allocating
+	// version, so simulated time is bit-identical (see stageArena).
+	ar := ps.arena(r.ID)
+	lo, hi := ar.BlockBounds(stages)
+	for t := 0; t < stages; t++ {
+		lo[t], hi[t] = graph.BlockRowRange(ps.N, g.Rows, j*stages+t)
+	}
+	// One bucketing pass slices every stage's Q_ik block (this rank
+	// only ever multiplies the p/c^2 block rows its column handles).
+	qiks := ar.SliceColBlocks(q, lo, hi)
+
+	// Stage products stay in per-stage arenas and merge once, inside
+	// the final all-reduce; the running accumulator the old pairwise
+	// merge chain built is replaced by an exact nonzero count (see
+	// stageArena.countStage), so every ChargeMem below is unchanged.
+	prods, _ := ar.stageProds(stages)
+	base := ar.beginCount(ps.N, q.Rows)
+	cum := 0
 	for t := 0; t < stages; t++ {
 		k := j*stages + t // block row of A handled this stage
-		lo, hi := graph.BlockRowRange(ps.N, g.Rows, k)
-		qik := sparse.ColRange(q, lo, hi)
+		qik := qiks[t]
 		r.ChargeMem(int64(q.NNZ()) * 8) // block slicing pass
 		ownerLocal := k                 // colComm members sorted by grid row
 
@@ -131,20 +158,19 @@ func (ps *Partitioned) SpGEMM15D(r *cluster.Rank, q *sparse.CSR) *sparse.CSR {
 			// Each member tells the owner which rows of A_k its local
 			// multiply will read (NnzCols of Q_ik), and receives only
 			// those rows.
-			need := sparse.NonzeroCols(qik)
+			need := ar.NonzeroCols(qik)
 			lists := cluster.Gather(colComm, r, ownerLocal, need, 8*len(need))
 			var parts []*rowPayload
 			if lists != nil { // this rank owns A_k
-				parts = make([]*rowPayload, colComm.Size())
+				parts = ar.extractParts(ps.ALocal, lists)
 				var extracted int64
-				for m, lst := range lists {
-					parts[m] = &rowPayload{rows: sparse.ExtractRows(ps.ALocal, lst)}
-					extracted += int64(parts[m].rows.NNZ())
+				for _, p := range parts {
+					extracted += int64(p.rows.NNZ())
 				}
 				r.ChargeSparse(extracted)
 			}
 			part := cluster.Scatter(colComm, r, ownerLocal, parts, payloadBytes)
-			blockK = assembleBlock(hi-lo, need, part.rows)
+			blockK = assembleBlockInto(&ar.asm, hi[t]-lo[t], need, part.rows)
 		} else {
 			// Sparsity-oblivious: broadcast the whole block row.
 			var block *sparse.CSR
@@ -154,18 +180,24 @@ func (ps *Partitioned) SpGEMM15D(r *cluster.Rank, q *sparse.CSR) *sparse.CSR {
 			blockK = cluster.Broadcast(colComm, r, ownerLocal, block, blockBytes(block))
 		}
 
-		prod, flops := sparse.SpGEMM(qik, blockK)
+		prod, flops := ar.SpGEMM(&prods[t], qik, blockK)
 		r.ChargeSparse(flops)
-		acc = sparse.AddCSR(acc, prod)
-		r.ChargeMem(int64(acc.NNZ()) * 16)
+		cum += ar.countStage(prod, base)
+		r.ChargeMem(int64(cum) * 16)
 		r.ChargeKernels(2)
 	}
 
 	// Partial sums combine across the process row (Algorithm 2 line
-	// 14). Replicas must not mutate the shared result.
-	sum := cluster.AllReduceGeneric(rowComm, r, acc, acc.Bytes(), sparse.AddCSR)
-	r.ChargeMem(int64(sum.NNZ()) * 16 * int64(rowComm.Size()))
-	return sum.Clone()
+	// 14), folded once inside the rendezvous into every member's res
+	// arena; the fold completing inside the collective is what lets
+	// the next call reuse the stage products, and the per-member
+	// destinations are what make the result private without a Clone.
+	// The contribution bytes are this rank's partial sum in CSR form:
+	// cum nonzeros over q.Rows rows, sized like the old accumulator.
+	partialBytes := 8*(q.Rows+1) + 16*cum
+	sum := cluster.AllReduceGenericInto(rowComm, r, ar, partialBytes, ar, foldStages)
+	r.ChargeMem(int64(sum.res.NNZ()) * 16 * int64(rowComm.Size()))
+	return &sum.res
 }
 
 // blockBytes sizes an optional block for broadcast accounting.
@@ -174,28 +206,6 @@ func blockBytes(b *sparse.CSR) int {
 		return 0
 	}
 	return b.Bytes()
-}
-
-// assembleBlock rebuilds the (height x N) right operand from the rows
-// the owner sent: row ids[i] of the block is payload row i.
-func assembleBlock(height int, ids []int, rows *sparse.CSR) *sparse.CSR {
-	out := &sparse.CSR{Rows: height, Cols: rows.Cols, RowPtr: make([]int, height+1)}
-	out.ColIdx = make([]int, 0, rows.NNZ())
-	out.Val = make([]float64, 0, rows.NNZ())
-	cursor := 0
-	for i := 0; i < height; i++ {
-		if cursor < len(ids) && ids[cursor] == i {
-			cs, vs := rows.Row(cursor)
-			out.ColIdx = append(out.ColIdx, cs...)
-			out.Val = append(out.Val, vs...)
-			cursor++
-		}
-		out.RowPtr[i+1] = len(out.ColIdx)
-	}
-	if cursor != len(ids) {
-		panic("distsample: row payload misaligned with request")
-	}
-	return out
 }
 
 // LocalBatches splits the global batch list across process rows: each

@@ -26,6 +26,33 @@ type FeatureStore struct {
 	// contents equal the global row (a real cache would have copied
 	// it at prefetch or on first fetch).
 	global *dense.Matrix
+
+	// scratch holds the epoch-persistent fetch workspaces of the c
+	// replicas sharing this block row, indexed by grid column. Before
+	// it, every FetchCached call rebuilt the request/response
+	// bookkeeping from fresh heap once per batch.
+	scratch []*fetchScratch
+}
+
+// fetchScratch is one rank's reusable buffers for FetchCached's two
+// all-to-allv rounds. The request and response buffers cross the wire
+// by reference; reuse is safe by the rendezvous happens-before edges:
+// an owner reads request lists between the two rounds, and a requester
+// rewrites its lists only after leaving round two — which the owner
+// must have entered, so it is done reading. Response rows are read by
+// requesters before they enter any later collective on the column
+// communicator; the owner rewrites them only behind its next call's
+// round one, which every member must have reached. The assembled
+// output matrix is NOT part of the workspace — it outlives the call
+// (the overlap pipeline hands it to the propagation stage).
+type fetchScratch struct {
+	reqBacking  []fetchRequest
+	reqs        []*fetchRequest
+	firstSlot   [][]int
+	pos         map[int]int
+	respBacking []fetchResponse
+	resps       []*fetchResponse
+	rowData     []float64
 }
 
 // NewFeatureStores slices the global feature matrix into the grid's
@@ -37,13 +64,31 @@ func NewFeatureStores(g *cluster.Grid, feats *dense.Matrix) []*FeatureStore {
 		lo, hi := graph.BlockRowRange(feats.Rows, g.Rows, i)
 		h := dense.New(hi-lo, feats.Cols)
 		copy(h.Data, feats.Data[lo*feats.Cols:hi*feats.Cols])
-		blocks[i] = &FeatureStore{Grid: g, H: h, Lo: lo, Hi: hi, N: feats.Rows, global: feats}
+		blocks[i] = &FeatureStore{Grid: g, H: h, Lo: lo, Hi: hi, N: feats.Rows, global: feats,
+			scratch: make([]*fetchScratch, g.C)}
 	}
 	out := make([]*FeatureStore, g.P)
 	for rank := 0; rank < g.P; rank++ {
 		out[rank] = blocks[g.RowIndex(rank)]
 	}
 	return out
+}
+
+// fetchScratchFor returns the calling rank's fetch workspace, building
+// it on first use. Replicas of a process row index disjoint slots (by
+// grid column), so the lazy writes never race. A store constructed
+// without NewFeatureStores falls back to per-call buffers.
+func (fs *FeatureStore) fetchScratchFor(rank int) *fetchScratch {
+	if fs.scratch == nil {
+		return &fetchScratch{}
+	}
+	j := fs.Grid.ColIndex(rank)
+	s := fs.scratch[j]
+	if s == nil {
+		s = &fetchScratch{}
+		fs.scratch[j] = s
+	}
+	return s
 }
 
 // fetchRequest asks an owner for specific global vertex rows.
@@ -96,16 +141,30 @@ func (fs *FeatureStore) FetchCached(r *cluster.Rank, vertices []int, c cache.Cac
 	// Cache hits are served immediately from device memory. A vertex has
 	// exactly one owner, so one position map serves all block rows; the
 	// common single-position case stays allocation-free (firstSlot), and
-	// only genuine repeats spill into the lazy extra-slot table.
-	reqBacking := make([]fetchRequest, members)
-	reqs := make([]*fetchRequest, members)
-	firstSlot := make([][]int, members) // first output position per requested vertex
+	// only genuine repeats spill into the lazy extra-slot table. The
+	// bookkeeping comes from the rank's epoch-persistent workspace (see
+	// fetchScratch for why reuse across batches is safe).
+	sc := fs.fetchScratchFor(r.ID)
+	if cap(sc.reqBacking) < members {
+		sc.reqBacking = make([]fetchRequest, members)
+		sc.reqs = make([]*fetchRequest, members)
+		sc.firstSlot = make([][]int, members)
+		sc.respBacking = make([]fetchResponse, members)
+		sc.resps = make([]*fetchResponse, members)
+		sc.pos = make(map[int]int, len(vertices))
+	}
+	reqBacking := sc.reqBacking[:members]
+	reqs := sc.reqs[:members]
+	firstSlot := sc.firstSlot[:members] // first output position per requested vertex
 	for m := range reqs {
+		reqBacking[m].vertices = reqBacking[m].vertices[:0]
+		firstSlot[m] = firstSlot[m][:0]
 		reqs[m] = &reqBacking[m]
 	}
-	pos := make(map[int]int, len(vertices)) // vertex -> index in its owner's request
-	var extraSlots map[[2]int][]int         // (owner, pos) -> further output positions
-	var cacheHit map[int]bool               // vertices served from cache this request
+	pos := sc.pos // vertex -> index in its owner's request
+	clear(pos)
+	var extraSlots map[[2]int][]int // (owner, pos) -> further output positions
+	var cacheHit map[int]bool       // vertices served from cache this request
 	var cachedBytes int64
 	for i, v := range vertices {
 		if cacheHit[v] {
@@ -144,14 +203,17 @@ func (fs *FeatureStore) FetchCached(r *cluster.Rank, vertices []int, c cache.Cac
 	})
 
 	// Serve each requester from the local block; all response rows share
-	// one backing allocation.
-	respBacking := make([]fetchResponse, members)
-	resps := make([]*fetchResponse, members)
+	// one backing allocation, reused across batches.
+	respBacking := sc.respBacking[:members]
+	resps := sc.resps[:members]
 	totalRows := 0
 	for _, q := range incoming {
 		totalRows += len(q.vertices)
 	}
-	rowData := make([]float64, totalRows*f)
+	if cap(sc.rowData) < totalRows*f {
+		sc.rowData = make([]float64, totalRows*f)
+	}
+	rowData := sc.rowData[:totalRows*f]
 	var served int64
 	for m, q := range incoming {
 		rows := dense.Matrix{Rows: len(q.vertices), Cols: f, Data: rowData[:len(q.vertices)*f]}

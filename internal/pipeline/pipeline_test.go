@@ -696,6 +696,45 @@ func TestSmallKScheduleSurfacesEffectiveBulk(t *testing.T) {
 	}
 }
 
+// TestFetchCachedScratchReuse pins the per-rank scratch contract: a
+// fetch over warm request/response arenas (dirtied by a previous
+// call) returns the same rows as a cold one, and the returned matrix
+// is freshly allocated — a later fetch must never overwrite an
+// earlier result, because the overlap engine hands fetched features
+// across stage boundaries while the next batch's fetch runs.
+func TestFetchCachedScratchReuse(t *testing.T) {
+	d := tinySBM()
+	cl := cluster.New(4, cluster.Perlmutter())
+	g := cluster.NewGrid(cl, 4, 2) // c=2: replicas share a store, scratch is per grid column
+	stores := NewFeatureStores(g, d.Features)
+	wantA := []int{0, 100, 511, 7}
+	wantB := []int{3, 9, 200, 450, 12, 100}
+	_, err := cl.Run(func(r *cluster.Rank) error {
+		a := stores[r.ID].FetchCached(r, wantA, nil)
+		b := stores[r.ID].FetchCached(r, wantB, nil) // warm scratch
+		for i, v := range wantA {
+			for j := 0; j < a.Cols; j++ {
+				if a.At(i, j) != d.Features.At(v, j) {
+					t.Errorf("rank %d: earlier fetch row %d clobbered by scratch reuse", r.ID, i)
+					return nil
+				}
+			}
+		}
+		for i, v := range wantB {
+			for j := 0; j < b.Cols; j++ {
+				if b.At(i, j) != d.Features.At(v, j) {
+					t.Errorf("rank %d: warm-scratch fetch row %d wrong", r.ID, i)
+					return nil
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestFetchCachedDedupesRepeatedVertices(t *testing.T) {
 	// Repeated vertices in one request cross the wire once: the wire
 	// volume of [v, v, v, w] equals that of [v, w], rows land in every

@@ -1,0 +1,351 @@
+package sparse
+
+import "fmt"
+
+// Scratch is a reusable workspace for the sparse kernels on a hot
+// loop — the 1.5D SpGEMM stage loop rebuilds the same intermediate
+// shapes every stage of every layer of every epoch, and the per-call
+// allocations were the simulator's dominant heap cost at partitioned
+// scale. A Scratch owns growable buffers that successive calls adopt
+// instead of allocating; results returned by its methods alias the
+// workspace and are valid only until the next call on the same
+// Scratch (callers that need longer lifetimes copy, exactly where
+// they always had to Clone).
+//
+// A Scratch serves one logical execution stream: it is not
+// goroutine-safe, and in the simulator each rank's sampling stream
+// owns its own instance.
+type Scratch struct {
+	// sparse accumulator for SpGEMM, sized to the widest right
+	// operand seen.
+	acc *spa
+
+	// mark/out buffers for NonzeroCols.
+	mark []bool
+	need []int
+
+	// column-block slicing arenas: one flat buffer carved into
+	// per-block regions plus reusable headers.
+	blockRowPtr []int
+	blockCols   []int
+	blockVals   []float64
+	blockHdrs   []CSR
+	blockPtrs   []*CSR
+	blockLo     []int
+	blockHi     []int
+	blockFill   []int
+}
+
+// ensureInts returns buf resized to length n (contents unspecified),
+// reallocating only on growth. Growth at least doubles the capacity:
+// the stage-loop accumulators creep up a few entries per call, and an
+// exact-fit policy would reallocate the whole buffer every time.
+func ensureInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		c := 2 * cap(buf)
+		if c < n {
+			c = n
+		}
+		return make([]int, n, c)
+	}
+	return buf[:n]
+}
+
+func ensureFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		c := 2 * cap(buf)
+		if c < n {
+			c = n
+		}
+		return make([]float64, n, c)
+	}
+	return buf[:n]
+}
+
+// ZeroInto reshapes out as an empty rows x cols matrix reusing its
+// storage, the in-place form of Zero.
+func ZeroInto(out *CSR, rows, cols int) *CSR {
+	out.Rows, out.Cols = rows, cols
+	out.RowPtr = ensureInts(out.RowPtr, rows+1)
+	for i := range out.RowPtr {
+		out.RowPtr[i] = 0
+	}
+	out.ColIdx = out.ColIdx[:0]
+	out.Val = out.Val[:0]
+	return out
+}
+
+// CopyCSRInto copies A into out, reusing out's storage — the arena
+// form of Clone.
+func CopyCSRInto(out, a *CSR) *CSR {
+	out.Rows, out.Cols = a.Rows, a.Cols
+	out.RowPtr = ensureInts(out.RowPtr, len(a.RowPtr))
+	copy(out.RowPtr, a.RowPtr)
+	nnz := a.NNZ()
+	out.ColIdx = ensureInts(out.ColIdx, nnz)
+	copy(out.ColIdx, a.ColIdx)
+	out.Val = ensureFloats(out.Val, nnz)
+	copy(out.Val, a.Val)
+	return out
+}
+
+// AddCSRInto computes A + B into out, reusing out's storage — the
+// in-place form of AddCSR (bit-identical merge: same entry order,
+// same float additions). out must not alias a or b.
+func AddCSRInto(out, a, b *CSR) *CSR {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("sparse: AddCSRInto shape mismatch %v vs %v", a, b))
+	}
+	if out == a || out == b {
+		panic("sparse: AddCSRInto output aliases an input")
+	}
+	out.Rows, out.Cols = a.Rows, a.Cols
+	out.RowPtr = ensureInts(out.RowPtr, a.Rows+1)
+	out.RowPtr[0] = 0
+	bound := a.NNZ() + b.NNZ()
+	cols := ensureInts(out.ColIdx, bound)[:0]
+	vals := ensureFloats(out.Val, bound)[:0]
+	for i := 0; i < a.Rows; i++ {
+		ac, av := a.Row(i)
+		bc, bv := b.Row(i)
+		x, y := 0, 0
+		for x < len(ac) && y < len(bc) {
+			switch {
+			case ac[x] < bc[y]:
+				cols = append(cols, ac[x])
+				vals = append(vals, av[x])
+				x++
+			case ac[x] > bc[y]:
+				cols = append(cols, bc[y])
+				vals = append(vals, bv[y])
+				y++
+			default:
+				cols = append(cols, ac[x])
+				vals = append(vals, av[x]+bv[y])
+				x++
+				y++
+			}
+		}
+		for ; x < len(ac); x++ {
+			cols = append(cols, ac[x])
+			vals = append(vals, av[x])
+		}
+		for ; y < len(bc); y++ {
+			cols = append(cols, bc[y])
+			vals = append(vals, bv[y])
+		}
+		out.RowPtr[i+1] = len(cols)
+	}
+	out.ColIdx, out.Val = cols, vals
+	return out
+}
+
+// MergeCSRInto sums row-aligned matrices into out, reusing out's
+// storage: per (row, column) the values add in source order — exactly
+// the float sequence of left-folding the sources with AddCSR — and
+// each row's columns come out sorted. One SPA pass per row replaces
+// the chain of pairwise merges (and the chain's intermediate
+// allocations) with a single output write.
+func (s *Scratch) MergeCSRInto(out *CSR, srcs []*CSR) *CSR {
+	if len(srcs) == 0 {
+		panic("sparse: MergeCSRInto needs at least one source")
+	}
+	rows, colsN := srcs[0].Rows, srcs[0].Cols
+	total := 0
+	for _, src := range srcs {
+		if src.Rows != rows || src.Cols != colsN {
+			panic(fmt.Sprintf("sparse: MergeCSRInto shape mismatch %v vs %dx%d", src, rows, colsN))
+		}
+		total += src.NNZ()
+	}
+	if s.acc == nil || len(s.acc.val) < colsN {
+		s.acc = newSPA(colsN)
+	}
+	out.Rows, out.Cols = rows, colsN
+	out.RowPtr = ensureInts(out.RowPtr, rows+1)
+	out.RowPtr[0] = 0
+	cols := ensureInts(out.ColIdx, total)[:0]
+	vals := ensureFloats(out.Val, total)[:0]
+	acc := s.acc
+	for i := 0; i < rows; i++ {
+		for _, src := range srcs {
+			cs, vs := src.Row(i)
+			for k := range cs {
+				acc.add(cs[k], vs[k])
+			}
+		}
+		cols, vals = acc.drainInto(cols, vals)
+		out.RowPtr[i+1] = len(cols)
+	}
+	out.ColIdx, out.Val = cols, vals
+	return out
+}
+
+// SpGEMM computes C = A * B into the workspace, single-threaded with
+// the workspace's sparse accumulator — the arena form of the package
+// SpGEMM. Row results are bit-identical to the parallel version (rows
+// are independent there; per row the accumulation order is the same),
+// and the returned flop count follows the same bound. The result
+// aliases the workspace.
+func (s *Scratch) SpGEMM(out *CSR, a, b *CSR) (*CSR, int64) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("sparse: SpGEMM dimension mismatch %dx%d * %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	bound := 0
+	for i := 0; i < a.Rows; i++ {
+		acols, _ := a.Row(i)
+		for _, arow := range acols {
+			bound += b.RowNNZ(arow)
+		}
+	}
+	if s.acc == nil || len(s.acc.val) < b.Cols {
+		s.acc = newSPA(b.Cols)
+	}
+	out.Rows, out.Cols = a.Rows, b.Cols
+	out.RowPtr = ensureInts(out.RowPtr, a.Rows+1)
+	out.RowPtr[0] = 0
+	cols := ensureInts(out.ColIdx, bound)[:0]
+	vals := ensureFloats(out.Val, bound)[:0]
+	acc := s.acc
+	for i := 0; i < a.Rows; i++ {
+		acols, avals := a.Row(i)
+		for k := range acols {
+			av := avals[k]
+			bcols, bvals := b.Row(acols[k])
+			for t := range bcols {
+				acc.add(bcols[t], av*bvals[t])
+			}
+		}
+		cols, vals = acc.drainInto(cols, vals)
+		out.RowPtr[i+1] = len(cols)
+	}
+	out.ColIdx, out.Val = cols, vals
+	return out, int64(bound)
+}
+
+// NonzeroCols returns the sorted distinct column indices of A via the
+// workspace's mark array — the arena form of the package NonzeroCols.
+// The result aliases the workspace.
+func (s *Scratch) NonzeroCols(a *CSR) []int {
+	if len(s.mark) < a.Cols {
+		s.mark = make([]bool, a.Cols)
+	}
+	out := s.need[:0]
+	for _, c := range a.ColIdx {
+		if !s.mark[c] {
+			s.mark[c] = true
+			out = append(out, c)
+		}
+	}
+	insertionSort(out)
+	for _, c := range out {
+		s.mark[c] = false
+	}
+	s.need = out
+	return out
+}
+
+// SliceColBlocks slices A's columns into the contiguous blocks
+// [lo[0],hi[0]) .. [lo[k-1],hi[k-1]) in one pass, with each block's
+// column indices shifted down by its lo — block t is bit-identical to
+// ColRange(a, lo[t], hi[t]). The blocks must be ascending and
+// contiguous (hi[t] == lo[t+1]); columns outside [lo[0], hi[k-1]) are
+// dropped. This replaces the per-stage ColRange scan of the 1.5D
+// stage loop (O(stages·nnz)) with one O(nnz + stages) pass. The
+// returned matrices alias the workspace.
+func (s *Scratch) SliceColBlocks(a *CSR, lo, hi []int) []*CSR {
+	k := len(lo)
+	if k == 0 || len(hi) != k {
+		panic("sparse: SliceColBlocks needs matching nonempty block bounds")
+	}
+	for t := 0; t < k; t++ {
+		if lo[t] > hi[t] || (t > 0 && lo[t] != hi[t-1]) {
+			panic("sparse: SliceColBlocks blocks must be ascending and contiguous")
+		}
+	}
+	first := lo[0]
+
+	// Counting pass: per-block entry totals.
+	s.blockFill = ensureInts(s.blockFill, k)
+	counts := s.blockFill
+	for t := range counts {
+		counts[t] = 0
+	}
+	for i := 0; i < a.Rows; i++ {
+		cs, _ := a.Row(i)
+		t := 0
+		for _, c := range cs {
+			if c < first {
+				continue
+			}
+			for t < k && c >= hi[t] {
+				t++
+			}
+			if t == k {
+				break
+			}
+			counts[t]++
+		}
+	}
+
+	// Carve one flat arena into per-block regions.
+	s.blockRowPtr = ensureInts(s.blockRowPtr, k*(a.Rows+1))
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	s.blockCols = ensureInts(s.blockCols, total)
+	s.blockVals = ensureFloats(s.blockVals, total)
+	if cap(s.blockHdrs) < k {
+		s.blockHdrs = make([]CSR, k)
+		s.blockPtrs = make([]*CSR, k)
+	}
+	s.blockHdrs = s.blockHdrs[:k]
+	s.blockPtrs = s.blockPtrs[:k]
+	off := 0
+	for t := 0; t < k; t++ {
+		h := &s.blockHdrs[t]
+		h.Rows, h.Cols = a.Rows, hi[t]-lo[t]
+		h.RowPtr = s.blockRowPtr[t*(a.Rows+1) : (t+1)*(a.Rows+1)]
+		h.RowPtr[0] = 0
+		h.ColIdx = s.blockCols[off : off : off+counts[t]]
+		h.Val = s.blockVals[off : off : off+counts[t]]
+		off += counts[t]
+		s.blockPtrs[t] = h
+	}
+
+	// Fill pass: column indices ascend within a row, so a single block
+	// cursor walks each row once.
+	for i := 0; i < a.Rows; i++ {
+		cs, vs := a.Row(i)
+		t := 0
+		for e, c := range cs {
+			if c < first {
+				continue
+			}
+			for t < k && c >= hi[t] {
+				t++
+			}
+			if t == k {
+				break
+			}
+			h := &s.blockHdrs[t]
+			h.ColIdx = append(h.ColIdx, c-lo[t])
+			h.Val = append(h.Val, vs[e])
+		}
+		for t := 0; t < k; t++ {
+			h := &s.blockHdrs[t]
+			h.RowPtr[i+1] = len(h.ColIdx)
+		}
+	}
+	return s.blockPtrs
+}
+
+// BlockBounds returns reusable lo/hi buffers of length k from the
+// workspace for SliceColBlocks callers to fill.
+func (s *Scratch) BlockBounds(k int) (lo, hi []int) {
+	s.blockLo = ensureInts(s.blockLo, k)
+	s.blockHi = ensureInts(s.blockHi, k)
+	return s.blockLo, s.blockHi
+}

@@ -263,10 +263,14 @@ func ContentionExperiment(w io.Writer, o ExperimentOptions) ([]bench.ContentionR
 	return bench.Contention(w, o)
 }
 
-// ScalingStudy runs the weak- and strong-scaling experiment to p=512:
-// both distributed algorithms, each all-reduce schedule, ideal and
-// oversubscribed topologies. Use the Scale profile for meaningful weak
-// scaling (one batch per rank at every p).
+// ScalingStudy runs the weak- and strong-scaling experiment to
+// p=8192: three algorithm series (replicated, partitioned c=2, and
+// partitioned c=CMax(p), the largest replication factor with c^2
+// dividing p), each all-reduce schedule, ideal and oversubscribed
+// topologies. Independent cells run on a worker pool
+// (ExperimentOptions.SweepWorkers); tables are byte-identical at any
+// worker count. Use the Scale profile for meaningful weak scaling
+// (one batch per rank at every p).
 func ScalingStudy(w io.Writer, o ExperimentOptions) ([]bench.ScalingRow, error) {
 	return bench.Scaling(w, o)
 }
