@@ -3,13 +3,18 @@
 // goldens and the perf gate only observe after the fact — that every
 // run is a pure function of its config (walltime, globalrand,
 // maporder), that all collective cost flows through the single
-// charging path (charging), and that all blocking is backend-neutral
-// (parkwake).
+// charging path (charging), that all blocking is backend-neutral
+// (parkwake), and that arena-backed buffers stay within their epoch
+// (arenaescape). Since PR 9 the suite is interprocedural: a call-graph
+// facts layer summarizes every function in the module, so wrapping a
+// violation in a helper — even one in another package — no longer
+// hides it.
 //
 // Usage:
 //
 //	go run ./cmd/gnnvet ./...
 //	go run ./cmd/gnnvet -checks charging,parkwake ./...
+//	go run ./cmd/gnnvet -sarif gnnvet.sarif -expectallows 8 ./...
 //
 // gnnvet always analyzes the whole module containing the working
 // directory (test files included); the ./... argument is accepted for
@@ -19,10 +24,16 @@
 //	//gnnvet:allow <check> — <reason>
 //
 // on the flagged line or the line above; a marker without a reason (or
-// naming an unknown check) is itself a finding.
+// naming an unknown check) is itself a finding. -expectallows N fails
+// the run when the module-wide count of well-formed markers differs
+// from N, so CI notices silent suppression growth. -json writes the
+// findings as a JSON array to a file ("-" for stdout); -sarif writes
+// SARIF 2.1.0 for diff annotation, with the engine's fact base
+// embedded as a run property.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,8 +46,11 @@ import (
 func main() {
 	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
 	list := flag.Bool("list", false, "list the available checks and exit")
+	jsonOut := flag.String("json", "", "write findings as JSON to this file (\"-\" for stdout)")
+	sarifOut := flag.String("sarif", "", "write findings as SARIF 2.1.0 to this file (\"-\" for stdout)")
+	expectAllows := flag.Int("expectallows", -1, "fail unless the module-wide //gnnvet:allow marker count equals this (-1 disables)")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: gnnvet [-checks c1,c2] [./...]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: gnnvet [-checks c1,c2] [-json f] [-sarif f] [-expectallows n] [./...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -71,26 +85,136 @@ func main() {
 		os.Exit(2)
 	}
 
-	findings := 0
-	for _, pkg := range pkgs {
-		diags, err := analysis.RunPackage(pkg, analyzers)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "gnnvet: %v\n", err)
-			os.Exit(2)
-		}
-		for _, d := range diags {
-			pos := pkg.Fset.Position(d.Pos)
+	results, facts, markers, err := analysis.RunModule(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gnnvet: %v\n", err)
+		os.Exit(2)
+	}
+
+	var findings []finding
+	for _, res := range results {
+		for _, d := range res.Diags {
+			pos := res.Pkg.Fset.Position(d.Pos)
 			name := pos.Filename
 			if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
-				name = rel
+				name = filepath.ToSlash(rel)
 			}
-			fmt.Printf("%s:%d:%d: %s [%s]\n", name, pos.Line, pos.Column, d.Message, d.Check)
-			findings++
+			findings = append(findings, finding{
+				File: name, Line: pos.Line, Column: pos.Column,
+				Check: d.Check, Message: d.Message, Package: res.Pkg.Path,
+			})
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "gnnvet: %d finding(s)\n", findings)
+
+	for _, f := range findings {
+		fmt.Printf("%s:%d:%d: %s [%s]\n", f.File, f.Line, f.Column, f.Message, f.Check)
+	}
+	if err := writeMachine(*jsonOut, *sarifOut, findings, facts); err != nil {
+		fmt.Fprintf(os.Stderr, "gnnvet: %v\n", err)
+		os.Exit(2)
+	}
+	if *expectAllows >= 0 && markers != *expectAllows {
+		fmt.Fprintf(os.Stderr,
+			"gnnvet: module has %d //gnnvet:allow marker(s), expected %d — if a new suppression is justified, update the count in .github/workflows/ci.yml alongside its audit\n",
+			markers, *expectAllows)
 		os.Exit(1)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "gnnvet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// finding is the JSON shape of one diagnostic.
+type finding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+	Package string `json:"package"`
+}
+
+func writeMachine(jsonOut, sarifOut string, findings []finding, facts *analysis.FactBase) error {
+	if jsonOut != "" {
+		if findings == nil {
+			findings = []finding{} // emit [], not null
+		}
+		blob, err := json.MarshalIndent(findings, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := writeOut(jsonOut, append(blob, '\n')); err != nil {
+			return err
+		}
+	}
+	if sarifOut != "" {
+		blob, err := json.MarshalIndent(sarifLog(findings, facts), "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := writeOut(sarifOut, append(blob, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeOut(dest string, blob []byte) error {
+	if dest == "-" {
+		_, err := os.Stdout.Write(blob)
+		return err
+	}
+	return os.WriteFile(dest, blob, 0o644)
+}
+
+// sarifLog renders the minimal SARIF 2.1.0 document CI annotation
+// needs: one run, one rule per analyzer, one result per finding, and
+// the serialized fact base as a run property so a reviewer can see
+// what the engine concluded about every function.
+func sarifLog(findings []finding, facts *analysis.FactBase) map[string]any {
+	rules := make([]map[string]any, 0, len(analysis.Analyzers))
+	for _, a := range analysis.Analyzers {
+		rules = append(rules, map[string]any{
+			"id":               a.Name,
+			"shortDescription": map[string]any{"text": a.Doc},
+		})
+	}
+	results := make([]map[string]any, 0, len(findings))
+	for _, f := range findings {
+		results = append(results, map[string]any{
+			"ruleId":  f.Check,
+			"level":   "error",
+			"message": map[string]any{"text": f.Message},
+			"locations": []map[string]any{{
+				"physicalLocation": map[string]any{
+					"artifactLocation": map[string]any{"uri": f.File},
+					"region": map[string]any{
+						"startLine":   f.Line,
+						"startColumn": f.Column,
+					},
+				},
+			}},
+		})
+	}
+	props := map[string]any{}
+	if facts != nil {
+		props["gnnvetFacts"] = facts.Export()
+	}
+	return map[string]any{
+		"$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+		"version": "2.1.0",
+		"runs": []map[string]any{{
+			"tool": map[string]any{
+				"driver": map[string]any{
+					"name":           "gnnvet",
+					"informationUri": "https://example.invalid/gnnvet",
+					"rules":          rules,
+				},
+			},
+			"results":    results,
+			"properties": props,
+		}},
 	}
 }
 

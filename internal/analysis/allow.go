@@ -27,7 +27,8 @@ var allowRe = regexp.MustCompile(`^gnnvet:allow\s+([A-Za-z][A-Za-z0-9_-]*)\s*(?:
 // allowIndex maps check name -> set of source lines (per file) the
 // check is suppressed on.
 type allowIndex struct {
-	lines map[string]map[lineKey]bool
+	lines   map[string]map[lineKey]bool
+	markers int // well-formed markers seen (for -expectallows)
 }
 
 type lineKey struct {
@@ -68,6 +69,7 @@ func ParseAllows(fset *token.FileSet, files []*ast.File, known map[string]bool) 
 					})
 					continue
 				}
+				idx.markers++
 				pos := fset.Position(c.Pos())
 				set := idx.lines[check]
 				if set == nil {
@@ -83,6 +85,21 @@ func ParseAllows(fset *token.FileSet, files []*ast.File, known map[string]bool) 
 	}
 	return idx, diags
 }
+
+// allowed reports whether check is suppressed at pos's line. The facts
+// layer consults it while seeding atoms, so an audited exception does
+// not taint its transitive callers.
+func (idx *allowIndex) allowed(check string, fset *token.FileSet, pos token.Pos) bool {
+	set := idx.lines[check]
+	if set == nil {
+		return false
+	}
+	p := fset.Position(pos)
+	return set[lineKey{p.Filename, p.Line}]
+}
+
+// Markers returns the number of well-formed markers parsed.
+func (idx *allowIndex) Markers() int { return idx.markers }
 
 // Filter drops diagnostics whose (file, line) carries an allow marker
 // for their check.

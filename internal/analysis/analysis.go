@@ -48,6 +48,13 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Facts is the module-wide fact base (facts.go): per-function
+	// summaries computed before any analyzer runs, spanning every
+	// package in import order. Graph is this package's static call
+	// graph. Both are non-nil under RunPackage/RunModule.
+	Facts *FactBase
+	Graph *CallGraph
+
 	diags *[]Diagnostic
 }
 
@@ -176,6 +183,15 @@ var Analyzers = []*Analyzer{
 	ParkWake,
 	MapOrder,
 	Benchpool,
+	ArenaEscape,
+}
+
+func knownChecks() map[string]bool {
+	known := make(map[string]bool, len(Analyzers))
+	for _, a := range Analyzers {
+		known[a.Name] = true
+	}
+	return known
 }
 
 // ByName resolves a comma-separated -checks selection against the
@@ -214,13 +230,101 @@ func ByName(sel string) ([]*Analyzer, error) {
 // RunPackage runs the analyzers over one loaded package and returns
 // the surviving findings: suppression markers are honored, malformed
 // markers become findings themselves, and the result is sorted by
-// position.
+// position. Facts are computed for this package alone — the
+// single-package entry point analysistest drives; whole-module runs go
+// through RunModule so facts cross package boundaries.
 func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	known := map[string]bool{}
-	for _, a := range Analyzers {
-		known[a.Name] = true
+	allow, diags := ParseAllows(pkg.Fset, pkg.Files, knownChecks())
+	base := NewFactBase()
+	g := BuildCallGraph(pkg, base.taken)
+	base.AddPackage(pkg, allow, g)
+	more, err := runAnalyzers(pkg, analyzers, allow, base, g)
+	if err != nil {
+		return nil, err
 	}
-	allow, diags := ParseAllows(pkg.Fset, pkg.Files, known)
+	diags = append(diags, more...)
+	sortDiags(diags)
+	return diags, nil
+}
+
+// PkgDiags pairs one package with its surviving findings.
+type PkgDiags struct {
+	Pkg   *Package
+	Diags []Diagnostic
+}
+
+// RunModule runs the suite over a whole loaded module. Facts are
+// computed first, package by package in import order (so a package's
+// out-of-package callees are summarized before its own atoms
+// propagate), then every analyzer runs per package against the
+// module-wide fact base. Results follow the input package order; the
+// marker count (well-formed //gnnvet:allow sites module-wide) backs
+// gnnvet's -expectallows gate.
+func RunModule(pkgs []*Package, analyzers []*Analyzer) (results []PkgDiags, base *FactBase, markers int, err error) {
+	known := knownChecks()
+	type prep struct {
+		allow      *allowIndex
+		allowDiags []Diagnostic
+		graph      *CallGraph
+	}
+	preps := make(map[*Package]*prep, len(pkgs))
+	base = NewFactBase()
+	for _, pkg := range topoOrder(pkgs) {
+		allow, adiags := ParseAllows(pkg.Fset, pkg.Files, known)
+		g := BuildCallGraph(pkg, base.taken)
+		base.AddPackage(pkg, allow, g)
+		preps[pkg] = &prep{allow, adiags, g}
+		markers += allow.Markers()
+	}
+	for _, pkg := range pkgs {
+		pr := preps[pkg]
+		diags := pr.allowDiags
+		more, err := runAnalyzers(pkg, analyzers, pr.allow, base, pr.graph)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		diags = append(diags, more...)
+		sortDiags(diags)
+		results = append(results, PkgDiags{Pkg: pkg, Diags: diags})
+	}
+	return results, base, markers, nil
+}
+
+// topoOrder orders packages so that imports come before importers,
+// considering only edges within the given set. The seen-guard makes
+// apparent cycles (an augmented test variant whose _test.go files
+// close an import loop) terminate rather than recurse forever.
+func topoOrder(pkgs []*Package) []*Package {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	seen := make(map[*Package]bool, len(pkgs))
+	out := make([]*Package, 0, len(pkgs))
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if seen[p] {
+			return
+		}
+		seen[p] = true
+		for _, f := range p.Files {
+			for _, im := range f.Imports {
+				dep := strings.Trim(im.Path.Value, `"`)
+				if d := byPath[dep]; d != nil && d != p {
+					visit(d)
+				}
+			}
+		}
+		out = append(out, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return out
+}
+
+func runAnalyzers(pkg *Package, analyzers []*Analyzer, allow *allowIndex, base *FactBase, g *CallGraph) ([]Diagnostic, error) {
+	var diags []Diagnostic
 	for _, a := range analyzers {
 		var raw []Diagnostic
 		pass := &Pass{
@@ -229,6 +333,8 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
+			Facts:     base,
+			Graph:     g,
 			diags:     &raw,
 		}
 		if err := a.Run(pass); err != nil {
@@ -236,6 +342,10 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		diags = append(diags, allow.Filter(pkg.Fset, raw)...)
 	}
+	return diags, nil
+}
+
+func sortDiags(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		if diags[i].Pos != diags[j].Pos {
 			return diags[i].Pos < diags[j].Pos
@@ -245,5 +355,4 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return diags[i].Message < diags[j].Message
 	})
-	return diags, nil
 }

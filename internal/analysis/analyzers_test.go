@@ -35,6 +35,10 @@ func TestBenchpool(t *testing.T) {
 	analysistest.Run(t, analysis.Benchpool, "testdata/benchpool", "repro/internal/bench")
 }
 
+func TestArenaEscape(t *testing.T) {
+	analysistest.Run(t, analysis.ArenaEscape, "testdata/arenaescape", "repro/fixture")
+}
+
 // TestAllowMarkers runs the marker-grammar fixture: malformed and
 // unknown-check markers are findings under the "allow" pseudo-check
 // and do not suppress, while a well-formed marker does.

@@ -1,0 +1,98 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// The -checks parser's conformance tables, in the accept/reject style
+// of internal/cliutil's profile parser tests.
+
+func namesOf(as []*analysis.Analyzer) string {
+	names := make([]string, 0, len(as))
+	for _, a := range as {
+		names = append(names, a.Name)
+	}
+	return strings.Join(names, ",")
+}
+
+func TestByNameAccepts(t *testing.T) {
+	all := namesOf(analysis.Analyzers)
+	cases := []struct {
+		sel  string
+		want string
+	}{
+		{"", all},                      // empty selection = whole suite
+		{"walltime", "walltime"},       // single check
+		{"arenaescape", "arenaescape"}, // PR 9 analyzer is selectable
+		{"charging,parkwake", "charging,parkwake"},
+		{"parkwake,charging", "charging,parkwake"},     // suite order, not selection order
+		{"charging,charging", "charging"},              // duplicates collapse
+		{" walltime , maporder ", "walltime,maporder"}, // whitespace trimmed
+		{"walltime,,maporder", "walltime,maporder"},    // empty elements skipped
+		{",", ""}, // only empty elements: empty (explicit) selection
+	}
+	for _, c := range cases {
+		got, err := analysis.ByName(c.sel)
+		if err != nil {
+			t.Errorf("ByName(%q): unexpected error %v", c.sel, err)
+			continue
+		}
+		if names := namesOf(got); names != c.want {
+			t.Errorf("ByName(%q) = %q, want %q", c.sel, names, c.want)
+		}
+	}
+}
+
+func TestByNameRejects(t *testing.T) {
+	cases := []string{
+		"nope",              // unknown check
+		"walltime,nope",     // one bad apple rejects the selection
+		"Walltime",          // names are case-sensitive
+		"wall time",         // no spaces inside a name
+		"walltime;maporder", // comma is the only separator
+		"arena-escape",      // the analyzer is arenaescape, undashed
+		"-",
+	}
+	for _, sel := range cases {
+		if got, err := analysis.ByName(sel); err == nil {
+			t.Errorf("ByName(%q) = %q, want error", sel, namesOf(got))
+		}
+	}
+}
+
+// FuzzByName: the parser must never panic, and every successful parse
+// must return a duplicate-free subsequence of the suite.
+func FuzzByName(f *testing.F) {
+	for _, seed := range []string{
+		"", "walltime", "walltime,charging", "nope", " walltime ,", ";;;",
+		"charging,charging", "arenaescape,walltime", ",",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, sel string) {
+		got, err := analysis.ByName(sel)
+		if err != nil {
+			return
+		}
+		idx := -1
+		for _, a := range got {
+			pos := -1
+			for i, s := range analysis.Analyzers {
+				if s == a {
+					pos = i
+					break
+				}
+			}
+			if pos < 0 {
+				t.Fatalf("ByName(%q) returned analyzer %q not in the suite", sel, a.Name)
+			}
+			if pos <= idx {
+				t.Fatalf("ByName(%q) out of suite order or duplicated at %q", sel, a.Name)
+			}
+			idx = pos
+		}
+	})
+}

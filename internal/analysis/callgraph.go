@@ -1,0 +1,265 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Static call graph.
+//
+// Interprocedural analyzers (the facts layer, facts.go) need to know,
+// for every function declared in a package, which functions its body
+// can invoke. The graph is built per package over the type-checked
+// ASTs and is deliberately static:
+//
+//   - direct calls (f(...)) and method calls (x.m(...)) resolve through
+//     the type checker's Uses map, which devirtualizes a method call
+//     whenever the receiver's static type is concrete; a call through
+//     an interface value resolves to the interface method object, which
+//     never carries facts — conservatively quiet.
+//   - function values are tracked conservatively: every declared
+//     function whose identifier appears outside call position is
+//     "address-taken", and an indirect call (through a variable,
+//     field or parameter of function type) gets an edge to every
+//     address-taken function with an identical signature. Packages are
+//     processed in dependency order, so the candidate set spans the
+//     current package and everything it imports.
+//
+// Function literals are attributed to their enclosing declaration:
+// a fact-relevant operation inside a closure taints the function that
+// wrote the closure, which is where a human auditor would look.
+//
+// Nodes and edges are keyed by FuncKey, a stable, package-path-based
+// symbol name — *types.Func object identity cannot cross packages here
+// because test-augmented package variants are re-type-checked from
+// scratch (see load.go) and so mint fresh objects.
+
+// EdgeKind classifies how a call site reached its callee.
+type EdgeKind uint8
+
+const (
+	// EdgeDirect is a plain call of a declared function.
+	EdgeDirect EdgeKind = iota
+	// EdgeMethod is a method call resolved on a concrete receiver type
+	// (or an interface method, which carries no facts).
+	EdgeMethod
+	// EdgeFuncValue is an indirect call through a function value,
+	// resolved conservatively by signature against the address-taken
+	// set.
+	EdgeFuncValue
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeDirect:
+		return "direct"
+	case EdgeMethod:
+		return "method"
+	case EdgeFuncValue:
+		return "funcvalue"
+	}
+	return "unknown"
+}
+
+// Edge is one call site: the callee's FuncKey plus where and how.
+type Edge struct {
+	Callee string // FuncKey of the callee
+	Pos    token.Pos
+	Kind   EdgeKind
+}
+
+// CGNode is one declared function (or method) and its outgoing calls,
+// in source order.
+type CGNode struct {
+	Key   string // FuncKey of this function
+	Fn    *types.Func
+	Edges []Edge
+}
+
+// CallGraph holds one package's nodes. Edges may point at functions in
+// other packages (or the standard library); only module-internal
+// callees ever carry facts.
+type CallGraph struct {
+	Pkg   *Package
+	nodes map[string]*CGNode
+	order []string // sorted keys, for deterministic iteration
+}
+
+// Node returns the graph node for a FuncKey, or nil.
+func (g *CallGraph) Node(key string) *CGNode { return g.nodes[key] }
+
+// Keys returns every node key in sorted order.
+func (g *CallGraph) Keys() []string { return g.order }
+
+// FuncKey names a function stably across packages and package
+// variants: "pkg/path.Name" for package-level functions and
+// "pkg/path.Recv.Name" for methods (receiver type's declaring
+// package). Generic instantiations collapse onto their origin.
+func FuncKey(fn *types.Func) string {
+	fn = fn.Origin()
+	pkg, recv := recvTypeName(fn)
+	if recv != "" {
+		return pkg + "." + recv + "." + fn.Name()
+	}
+	return pkg + "." + fn.Name()
+}
+
+// shortKey trims a FuncKey to its last path segment for report text:
+// "repro/internal/cluster.Queue.Recv" -> "cluster.Queue.Recv".
+func shortKey(key string) string {
+	if i := strings.LastIndexByte(key, '/'); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}
+
+// sigKey renders a function's signature (receiver excluded) with
+// package-path qualification, the matching key for conservative
+// func-value resolution.
+func sigKey(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	if sig.Recv() != nil {
+		// Match on the receiver-less shape: a method value bound to a
+		// variable calls like a plain function.
+		sig = types.NewSignatureType(nil, nil, nil, sig.Params(), sig.Results(), sig.Variadic())
+	}
+	return types.TypeString(sig, func(p *types.Package) string { return p.Path() })
+}
+
+// addrTakenSet accumulates, module-wide, the declared functions whose
+// identifiers appear outside call position, keyed by signature. It
+// lives on the FactBase so candidates span every already-processed
+// package.
+type addrTakenSet map[string][]string // sigKey -> sorted FuncKeys
+
+func (s addrTakenSet) add(fn *types.Func) {
+	sig := sigKey(fn)
+	if sig == "" {
+		return
+	}
+	key := FuncKey(fn)
+	list := s[sig]
+	i := sort.SearchStrings(list, key)
+	if i < len(list) && list[i] == key {
+		return
+	}
+	list = append(list, "")
+	copy(list[i+1:], list[i:])
+	list[i] = key
+	s[sig] = list
+}
+
+// BuildCallGraph constructs the package's call graph, registering its
+// address-taken functions into taken first so in-package indirect
+// calls resolve against them.
+func BuildCallGraph(pkg *Package, taken addrTakenSet) *CallGraph {
+	g := &CallGraph{Pkg: pkg, nodes: map[string]*CGNode{}}
+
+	// Pass 1: mark callee-position identifiers, so every other use of a
+	// function identifier counts as address-taken.
+	calleePos := map[*ast.Ident]bool{}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				calleePos[fun] = true
+			case *ast.SelectorExpr:
+				calleePos[fun.Sel] = true
+			case *ast.IndexExpr:
+				markGenericCallee(calleePos, fun.X)
+			case *ast.IndexListExpr:
+				markGenericCallee(calleePos, fun.X)
+			}
+			return true
+		})
+	}
+	for id, obj := range pkg.Info.Uses {
+		if fn, ok := obj.(*types.Func); ok && !calleePos[id] {
+			taken.add(fn)
+		}
+	}
+
+	// Pass 2: one node per declaration, edges in source order. Function
+	// literal bodies contribute edges to their enclosing declaration.
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			node := g.node(fn)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := calleeFunc(pkg.Info, call); callee != nil {
+					kind := EdgeDirect
+					if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+						kind = EdgeMethod
+					}
+					node.Edges = append(node.Edges, Edge{Callee: FuncKey(callee), Pos: call.Pos(), Kind: kind})
+					return true
+				}
+				// Unresolved: an indirect call if the operand is a plain
+				// func-typed expression (not a builtin or conversion).
+				if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsValue() {
+					if sig, ok := tv.Type.Underlying().(*types.Signature); ok {
+						key := types.TypeString(stripRecv(sig), func(p *types.Package) string { return p.Path() })
+						for _, cand := range taken[key] {
+							node.Edges = append(node.Edges, Edge{Callee: cand, Pos: call.Pos(), Kind: EdgeFuncValue})
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	g.order = make([]string, 0, len(g.nodes))
+	for k := range g.nodes {
+		g.order = append(g.order, k)
+	}
+	sort.Strings(g.order)
+	return g
+}
+
+func stripRecv(sig *types.Signature) *types.Signature {
+	if sig.Recv() == nil {
+		return sig
+	}
+	return types.NewSignatureType(nil, nil, nil, sig.Params(), sig.Results(), sig.Variadic())
+}
+
+func markGenericCallee(calleePos map[*ast.Ident]bool, x ast.Expr) {
+	switch fun := ast.Unparen(x).(type) {
+	case *ast.Ident:
+		calleePos[fun] = true
+	case *ast.SelectorExpr:
+		calleePos[fun.Sel] = true
+	}
+}
+
+func (g *CallGraph) node(fn *types.Func) *CGNode {
+	key := FuncKey(fn)
+	n := g.nodes[key]
+	if n == nil {
+		n = &CGNode{Key: key, Fn: fn}
+		g.nodes[key] = n
+	}
+	return n
+}

@@ -37,35 +37,53 @@ var chargingFields = map[string]map[string]bool{
 }
 
 func runCharging(pass *Pass) error {
-	if pass.Pkg == nil || pass.Pkg.Path() != clusterPath {
-		return nil
-	}
+	inCluster := pass.Pkg != nil && pass.Pkg.Path() == clusterPath
 	WithStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
-		sel, ok := n.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		if pass.IsTestFile(sel) || chargingExemptFiles[pass.Filename(sel)] {
-			return true
-		}
-		owner, fields := "", map[string]bool(nil)
-		for name, fs := range chargingFields {
-			if fs[sel.Sel.Name] {
-				owner, fields = name, fs
-				break
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			// Direct reads of protected fields only exist inside the
+			// cluster package (the fields are unexported consumers of
+			// exported params; other packages hold them by value too) —
+			// the field-level rule stays scoped there.
+			if !inCluster || pass.IsTestFile(n) || chargingExemptFiles[pass.Filename(n)] {
+				return true
 			}
-		}
-		if fields == nil {
-			return true
-		}
-		tv, ok := pass.TypesInfo.Types[sel.X]
-		if !ok || !namedIn(tv.Type, clusterPath, owner) {
-			return true
-		}
-		if inArithmetic(stack) {
-			pass.Reportf(sel.Pos(),
-				"cost-parameter arithmetic outside the charging path: %s.%s may be priced only in collectives.go/contention.go/costmodel.go — call a charging helper instead of inlining α–β math",
-				owner, sel.Sel.Name)
+			sel := n
+			owner, fields := "", map[string]bool(nil)
+			for name, fs := range chargingFields {
+				if fs[sel.Sel.Name] {
+					owner, fields = name, fs
+					break
+				}
+			}
+			if fields == nil {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[sel.X]
+			if !ok || !namedIn(tv.Type, clusterPath, owner) {
+				return true
+			}
+			if inArithmetic(stack) {
+				pass.Reportf(sel.Pos(),
+					"cost-parameter arithmetic outside the charging path: %s.%s may be priced only in collectives.go/contention.go/costmodel.go — call a charging helper instead of inlining α–β math",
+					owner, sel.Sel.Name)
+			}
+		case *ast.CallExpr:
+			// Transitive, module-wide: arithmetic on the result of a
+			// function summarized as returning a raw cost parameter is
+			// the same inlined α–β math, laundered through a call.
+			if pass.Facts == nil || pass.IsTestFile(n) {
+				return true
+			}
+			if inCluster && chargingExemptFiles[pass.Filename(n)] {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, n)
+			if fn != nil && pass.Facts.Has(fn, FactCostAccessor) && inArithmetic(stack) {
+				pass.Reportf(n.Pos(),
+					"cost-parameter arithmetic laundered through %s (returns %s): pricing belongs in collectives.go/contention.go/costmodel.go — call a charging helper instead",
+					shortKey(FuncKey(fn)), pass.Facts.Via(fn, FactCostAccessor))
+			}
 		}
 		return true
 	})

@@ -40,7 +40,11 @@ type Loader struct {
 	modPath string
 	root    string
 	std     types.ImporterFrom
-	built   map[string]*types.Package // base (non-test) variants
+	// built memoizes the fully-checked base (non-test) variant of each
+	// package — types.Info included — so a package is type-checked
+	// exactly once for both import resolution and analysis output
+	// (packages without in-package test files need no re-check).
+	built map[string]*Package
 }
 
 type dirPkg struct {
@@ -72,7 +76,7 @@ func (l *Loader) LoadModule(root string) ([]*Package, error) {
 		return nil, fmt.Errorf("gnnvet: no module line in %s/go.mod", root)
 	}
 	l.std = importer.ForCompiler(l.Fset, "source", nil).(types.ImporterFrom)
-	l.built = map[string]*types.Package{}
+	l.built = map[string]*Package{}
 
 	dirs, err := l.scan()
 	if err != nil {
@@ -96,19 +100,22 @@ func (l *Loader) LoadModule(root string) ([]*Package, error) {
 	var out []*Package
 	for _, p := range order {
 		d := byPath[p]
-		files := d.files
-		if l.IncludeTests && len(d.inTest) > 0 {
-			// Re-check the test-augmented variant (what `go test`
-			// compiles); imports still resolve against base variants,
-			// exactly like the real toolchain.
-			files = append(append([]*ast.File{}, d.files...), d.inTest...)
-		}
-		if len(files) > 0 {
+		switch {
+		case l.IncludeTests && len(d.inTest) > 0:
+			// Only here is a second type-check of the same files
+			// unavoidable: the test-augmented variant (what `go test`
+			// compiles) is a different package body. Imports still
+			// resolve against base variants, like the real toolchain.
+			files := append(append([]*ast.File{}, d.files...), d.inTest...)
 			pkg, err := l.check(p, files, byPath)
 			if err != nil {
 				return nil, err
 			}
 			out = append(out, pkg)
+		case len(d.files) > 0:
+			// The base variant was already checked (with full Info)
+			// during the dependency pass — reuse it.
+			out = append(out, l.built[p])
 		}
 		if l.IncludeTests && len(d.extTest) > 0 {
 			pkg, err := l.check(p+"_test", d.extTest, byPath)
@@ -180,7 +187,7 @@ func (l *Loader) scan() ([]*dirPkg, error) {
 // package, recursing into module-internal imports first.
 func (l *Loader) checkBase(byPath map[string]*dirPkg, path string, trail []string) (*types.Package, error) {
 	if p, ok := l.built[path]; ok {
-		return p, nil
+		return p.Types, nil
 	}
 	d := byPath[path]
 	if d == nil {
@@ -204,7 +211,7 @@ func (l *Loader) checkBase(byPath map[string]*dirPkg, path string, trail []strin
 	if err != nil {
 		return nil, err
 	}
-	l.built[path] = pkg.Types
+	l.built[path] = pkg
 	return pkg.Types, nil
 }
 

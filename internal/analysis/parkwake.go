@@ -161,18 +161,35 @@ func checkFuncBody(pass *Pass, body *ast.BlockStmt) {
 					pass.Reportf(n.Pos(),
 						"%s.Wait blocks outside the scheduler and hangs the DES backend; join forked work with Forked.Join", waitRecvName(fn))
 				}
+				// Transitive: a helper summarized as blocking on a naked
+				// channel rendezvous hangs the DES backend from here just
+				// as surely as an inline receive would.
+				if pass.Facts != nil && pass.Facts.Has(fn, FactBlocksNative) {
+					pass.Reportf(n.Pos(),
+						"call blocks outside the scheduler: %s → %s — under the DES backend there is one runnable task, so a native block hangs the simulation; route it through the park/wake seam",
+						shortKey(FuncKey(fn)), pass.Facts.Via(fn, FactBlocksNative))
+				}
 				pkg, recv := recvTypeName(fn)
-				if parkCalls[parkKey{pkg, recv, fn.Name()}] {
+				direct := parkCalls[parkKey{pkg, recv, fn.Name()}]
+				// Parking itself is the design; parking while a mutex is
+				// lexically held is the deadlock. The facts layer extends
+				// the check one or more calls deep: a helper that reaches
+				// Barrier parks this rank just the same.
+				if direct || (pass.Facts != nil && pass.Facts.Has(fn, FactMayPark)) {
+					what := fn.Name()
+					if !direct {
+						what = shortKey(FuncKey(fn)) + " (→ " + pass.Facts.Via(fn, FactMayPark) + ")"
+					}
 					for _, key := range sortedKeys(held) {
 						if held[key] > 0 {
 							pass.Reportf(n.Pos(),
-								"%s may park the rank while %s is locked: the task that would wake it can need that mutex first — release before blocking", fn.Name(), key)
+								"%s may park the rank while %s is locked: the task that would wake it can need that mutex first — release before blocking", what, key)
 						}
 					}
 					for _, key := range sortedKeys(deferHeld) {
 						if deferHeld[key] {
 							pass.Reportf(n.Pos(),
-								"%s may park the rank while %s is locked (deferred Unlock holds it to return) — release before blocking", fn.Name(), key)
+								"%s may park the rank while %s is locked (deferred Unlock holds it to return) — release before blocking", what, key)
 						}
 					}
 				}

@@ -1,0 +1,24 @@
+// Fixture: an epoch arena in the shape of PR 8's stageArena / sparse
+// Scratch. The //gnnvet:arena directive marks the type; the facts
+// layer then summarizes scratch() as returning arena-backed memory,
+// and escape.go's stores are judged against that summary across the
+// file boundary.
+package fix
+
+//gnnvet:arena
+type epochArena struct {
+	ints []int
+}
+
+// scratch hands out arena-backed memory: that is the FactArenaMem
+// summary, not a finding — returning it is how an arena works.
+func (a *epochArena) scratch(n int) []int {
+	if cap(a.ints) < n {
+		a.ints = make([]int, n)
+	}
+	return a.ints[:n]
+}
+
+// Reset recycles the arena for the next epoch; stores into the arena's
+// own fields are its bookkeeping, never an escape.
+func (a *epochArena) Reset() { a.ints = a.ints[:0] }

@@ -1,0 +1,62 @@
+// Fixture: arena-backed buffers must die with the epoch. Using one
+// within the epoch — or copying it out — is clean; storing it into a
+// field, global or capture that outlives Reset is a use-after-reuse
+// bug the race detector cannot see.
+package fix
+
+// result is a long-lived output record (owned by the caller).
+type result struct {
+	ids []int
+}
+
+var lastIDs []int
+
+// withinEpoch is the clean half: the buffer is consumed inside the
+// epoch, and what escapes is an explicit copy that owns its backing.
+func withinEpoch(a *epochArena, out *result) int {
+	buf := a.scratch(8)
+	sum := 0
+	for _, v := range buf {
+		sum += v
+	}
+	out.ids = append([]int(nil), buf...)
+	return sum
+}
+
+// fieldEscape stores the buffer into a field that outlives Reset —
+// the next epoch rewrites out.ids behind the caller's back.
+func fieldEscape(a *epochArena, out *result) {
+	buf := a.scratch(8)
+	out.ids = buf // want `arena-backed memory stored into a field of out, which the caller owns beyond this epoch`
+}
+
+// directFieldEscape does it without the intermediate local; the
+// report names the summarized accessor as the witness.
+func directFieldEscape(a *epochArena, out *result) {
+	out.ids = a.scratch(8) // want `stored into a field of out, which the caller owns beyond this epoch.*fixture\.epochArena\.scratch returns arena-backed memory`
+}
+
+// globalEscape parks the buffer in a package variable.
+func globalEscape(a *epochArena) {
+	lastIDs = a.scratch(8) // want `arena-backed memory stored into package-level lastIDs`
+}
+
+var deferred func() int
+
+// closureEscape smuggles the buffer out through a capture.
+func closureEscape(a *epochArena) {
+	buf := a.scratch(8)
+	deferred = func() int { return len(buf) } // want `closure capturing arena-backed buf escapes the epoch`
+}
+
+// valueReceiver is clean: storing into a field of a by-value struct
+// dies with the frame.
+func valueReceiver(a *epochArena, out result) {
+	out.ids = a.scratch(8)
+}
+
+// auditedEscape shows the escape hatch: the marker is the audit.
+func auditedEscape(a *epochArena, out *result) {
+	//gnnvet:allow arenaescape — fixture: caller consumes out before the next epoch by contract
+	out.ids = a.scratch(8)
+}

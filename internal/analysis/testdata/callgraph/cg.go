@@ -1,0 +1,34 @@
+// Fixture for the call-graph and facts unit tests: direct edges,
+// a devirtualized method edge, a conservative func-value edge, and a
+// two-function cycle whose wall-clock atom must converge under the
+// fixpoint.
+package fix
+
+import "time"
+
+func leaf() {}
+
+func caller() { leaf() }
+
+type T struct{}
+
+func (T) M() {}
+
+func methodCall(t T) { t.M() }
+
+// indirect calls through a function value: the conservative edge goes
+// to every address-taken function with a matching signature.
+func indirect(f func()) { f() }
+
+// takesAddress puts leaf in the address-taken set (argument position
+// is not call position).
+func takesAddress() { indirect(leaf) }
+
+// tickA and tickB form a cycle; tickB holds the atom, and propagation
+// must reach tickA without spinning.
+func tickA() time.Time { return tickB() }
+
+func tickB() time.Time {
+	tickA()
+	return time.Now()
+}

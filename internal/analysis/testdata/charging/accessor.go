@@ -1,0 +1,30 @@
+// Fixture: a function that returns a raw cost parameter unchanged is
+// a cost accessor; arithmetic on its call result is the same inlined
+// α–β math, laundered through a call — and the facts layer flags it
+// wherever it happens.
+package cluster
+
+// rawAlpha earns the accessor fact: a plain read in a return is not
+// arithmetic, so the accessor itself is not a finding.
+func rawAlpha(m CostModel, l Link) float64 { return m.Alpha[l] }
+
+// relay launders the accessor through a second hop and inherits the
+// fact.
+func relay(m CostModel, l Link) float64 { return rawAlpha(m, l) }
+
+func launderedCharge(m CostModel, l Link, bytes int64) float64 {
+	return rawAlpha(m, l) * float64(bytes) // want `cost-parameter arithmetic laundered through cluster\.rawAlpha \(returns CostModel\.Alpha\)`
+}
+
+func launderedTwice(m CostModel, l Link) float64 {
+	return 2 * relay(m, l) // want `laundered through cluster\.relay \(returns cluster\.rawAlpha → CostModel\.Alpha\)`
+}
+
+// Copying the result is not arithmetic.
+func holdsAccessor(m CostModel, l Link) float64 { return relay(m, l) }
+
+// auditedLaunder shows the escape hatch.
+func auditedLaunder(m CostModel, l Link) float64 {
+	//gnnvet:allow charging — fixture: audited laundered cost math
+	return rawAlpha(m, l) * 2
+}

@@ -1,0 +1,37 @@
+// Fixture: the facts layer carries a wall-clock read across function
+// and file boundaries — wrapping time.Now in a helper (this file) no
+// longer hides it from callers (here and in a.go's neighborhood).
+package fix
+
+import "time"
+
+// stamp wraps the clock read: the atom is flagged here, and the
+// function's summary taints every caller.
+func stamp() time.Time {
+	return time.Now() // want `wall clock in simulated-time code: time\.Now`
+}
+
+// oneDeep was invisible to the per-function analyzer — no time.* call
+// in sight — yet it reaches the wall clock.
+func oneDeep() time.Time {
+	return stamp() // want `call reaches the wall clock: fixture\.stamp → time\.Now`
+}
+
+// twoDeep shows the witness chain growing one hop per level.
+func twoDeep() time.Time {
+	return oneDeep() // want `call reaches the wall clock: fixture\.oneDeep → fixture\.stamp → time\.Now`
+}
+
+// callsMeasured is clean: measured's atoms (a.go) sit under audited
+// markers, so its summary carries no taint — the marker is the audit.
+func callsMeasured() time.Duration { return measured() }
+
+// auditedCaller audits the transitive finding at the call site; the
+// taint stops here rather than spreading to auditedCaller's callers.
+func auditedCaller() time.Time {
+	//gnnvet:allow walltime — fixture: wrapper audited where the helper is invoked
+	return stamp()
+}
+
+// callsAuditedCaller is therefore clean.
+func callsAuditedCaller() time.Time { return auditedCaller() }

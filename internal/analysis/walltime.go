@@ -40,18 +40,31 @@ func runWalltime(pass *Pass) error {
 			continue // tests may time themselves
 		}
 		ast.Inspect(f, func(n ast.Node) bool {
-			sel, ok := n.(*ast.SelectorExpr)
-			if !ok {
-				return true
-			}
-			fn := funcObj(pass.TypesInfo, sel.Sel)
-			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
-				return true
-			}
-			if walltimeFuncs[fn.Name()] {
-				pass.Reportf(sel.Pos(),
-					"wall clock in simulated-time code: time.%s makes the run a function of the machine, not the config (simulated time lives on Rank clocks)",
-					fn.Name())
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				fn := funcObj(pass.TypesInfo, n.Sel)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+					return true
+				}
+				if walltimeFuncs[fn.Name()] {
+					pass.Reportf(n.Pos(),
+						"wall clock in simulated-time code: time.%s makes the run a function of the machine, not the config (simulated time lives on Rank clocks)",
+						fn.Name())
+				}
+			case *ast.CallExpr:
+				// Transitive: a helper whose summary says it reaches the
+				// wall clock is as machine-dependent as time.Now itself.
+				// An atom under a //gnnvet:allow seeds no fact, so an
+				// audited exception does not taint its callers.
+				if pass.Facts == nil {
+					return true
+				}
+				fn := calleeFunc(pass.TypesInfo, n)
+				if fn != nil && pass.Facts.Has(fn, FactWallClock) {
+					pass.Reportf(n.Pos(),
+						"call reaches the wall clock: %s → %s — the run becomes a function of the machine, not the config",
+						shortKey(FuncKey(fn)), pass.Facts.Via(fn, FactWallClock))
+				}
 			}
 			return true
 		})

@@ -41,6 +41,8 @@ import (
 // Everything else (Q_ik blocks, SPA, product, ping-pong accumulators)
 // never leaves the rank. A stageArena serves one execution stream —
 // the rank's sampling stream.
+//
+//gnnvet:arena
 type stageArena struct {
 	sparse.Scratch // SPA, NnzCols mark array, column-block slicing
 

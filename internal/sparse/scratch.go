@@ -15,6 +15,8 @@ import "fmt"
 // A Scratch serves one logical execution stream: it is not
 // goroutine-safe, and in the simulator each rank's sampling stream
 // owns its own instance.
+//
+//gnnvet:arena
 type Scratch struct {
 	// sparse accumulator for SpGEMM, sized to the widest right
 	// operand seen.
