@@ -20,7 +20,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "one of: table2, table3, fig4, fig5, fig6, fig7sage, fig7ladies, acc, tprob, collectives, contention, scaling, perf, amortization, cachesweep, sparsity, partition, explosion, variance, overlap, sensitivity, straggler, verify, all")
+		experiment = flag.String("experiment", "all", "one of: table2, table3, fig4, fig5, fig6, fig7sage, fig7ladies, acc, tprob, collectives, contention, scaling, perf, amortization, cachesweep, sparsity, partition, explosion, variance, overlap, sensitivity, straggler, resilience, verify, all")
 		profile    = flag.String("profile", "small", cliutil.ProfileUsage)
 		gpus       = flag.String("gpus", "", "comma-separated GPU counts (default per experiment)")
 		maxBatches = flag.Int("maxbatches", 0, "cap batches per epoch and extrapolate (0 = all)")
@@ -36,6 +36,8 @@ func main() {
 		perfBase   = flag.String("perfbaseline", "", "perf experiment: compare against this committed baseline and fail on >25% wall-time regression")
 		perfReps   = flag.String("perfreps", "default", "perf experiment: repetitions per workload (reported as wall min and median; baselines are captured at the default, 5)")
 		sweepWorks = flag.String("sweepworkers", "default", "worker-pool size for sweep experiments (scaling): default = one per CPU, 1 = serial; tables are byte-identical at any setting")
+		faultsFlag = flag.String("faults", "default", cliutil.FaultsUsage+" (resilience experiment: overrides the auto fault at ~60% of the clean span)")
+		ckptFlag   = flag.String("ckpt-interval", "default", cliutil.CkptIntervalUsage+" (resilience experiment: restricts the interval sweep to this cadence)")
 	)
 	flag.Parse()
 
@@ -63,6 +65,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	faultPlan, err := cliutil.ParseFaults(*faultsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	ckptInterval, err := cliutil.ParseCkptInterval(*ckptFlag)
+	if err != nil {
+		fatal(err)
+	}
 	// Experiment-scoped flags error out under any other experiment
 	// instead of silently doing nothing.
 	for _, c := range []struct{ name, value, want string }{
@@ -70,6 +80,8 @@ func main() {
 		{"perfbaseline", *perfBase, "perf"},
 		{"perfreps", *perfReps, "perf"},
 		{"sweepworkers", *sweepWorks, "scaling"},
+		{"faults", *faultsFlag, "resilience"},
+		{"ckpt-interval", *ckptFlag, "resilience"},
 	} {
 		if err := cliutil.RequireExperiment(c.name, c.value, *experiment, c.want); err != nil {
 			fatal(err)
@@ -206,6 +218,18 @@ func main() {
 			rows, err := bench.Explosion(os.Stdout, "products", opts)
 			report.Add(id, rows)
 			return err
+		case "resilience":
+			p := 16
+			if len(opts.GPUCounts) > 0 {
+				p = opts.GPUCounts[0]
+			}
+			var intervals []int
+			if ckptInterval > 0 {
+				intervals = []int{0, ckptInterval}
+			}
+			rows, err := bench.Resilience(os.Stdout, "products", p, intervals, faultPlan, opts)
+			report.Add(id, rows)
+			return err
 		default:
 			return fmt.Errorf("unknown experiment %q", id)
 		}
@@ -218,7 +242,7 @@ func main() {
 		// simulator itself (wall-clock), not the paper's figures, and
 		// is driven separately by the CI regression gate.
 		ids = []string{"table2", "table3", "fig4", "fig5", "fig6", "fig7sage", "fig7ladies",
-			"acc", "tprob", "collectives", "contention", "scaling", "amortization", "cachesweep", "sparsity", "partition", "explosion", "variance", "overlap", "sensitivity", "straggler", "verify"}
+			"acc", "tprob", "collectives", "contention", "scaling", "amortization", "cachesweep", "sparsity", "partition", "explosion", "variance", "overlap", "sensitivity", "straggler", "resilience", "verify"}
 	}
 	for i, id := range ids {
 		if i > 0 {

@@ -4,8 +4,10 @@
 // run is a pure function of its config (walltime, globalrand,
 // maporder), that all collective cost flows through the single
 // charging path (charging), that all blocking is backend-neutral
-// (parkwake), and that arena-backed buffers stay within their epoch
-// (arenaescape). Since PR 9 the suite is interprocedural: a call-graph
+// (parkwake), that arena-backed buffers stay within their epoch
+// (arenaescape), and that fault-injection plans are constructed only
+// behind the FaultPlan seam (faultseam). Since PR 9 the suite is
+// interprocedural: a call-graph
 // facts layer summarizes every function in the module, so wrapping a
 // violation in a helper — even one in another package — no longer
 // hides it.

@@ -43,6 +43,8 @@ func main() {
 		backend   = flag.String("backend", "default", cluster.BackendFlagUsage)
 		ckptOut   = flag.String("checkpoint", "", "write trained parameters to this file")
 		ckptIn    = flag.String("resume", "", "initialize parameters from this checkpoint")
+		faults    = flag.String("faults", "default", cliutil.FaultsUsage)
+		ckptEvery = flag.String("ckpt-interval", "default", cliutil.CkptIntervalUsage)
 		tune      = flag.Bool("autotune", false, "choose c and k automatically by memory model")
 	)
 	flag.Parse()
@@ -73,15 +75,25 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	faultPlan, err := cliutil.ParseFaults(*faults)
+	if err != nil {
+		fatal(err)
+	}
+	ckptInterval, err := cliutil.ParseCkptInterval(*ckptEvery)
+	if err != nil {
+		fatal(err)
+	}
 	cfg := pipeline.Config{
 		P: *p, C: *c, K: *k,
 		Sampler: *sampler,
 		Epochs:  *epochs, LR: *lr, Seed: *seed,
-		MaxBatches:  *maxB,
-		Overlap:     *overlap,
-		Collectives: coll,
-		Topology:    topo,
-		Backend:     be,
+		MaxBatches:   *maxB,
+		Overlap:      *overlap,
+		Collectives:  coll,
+		Topology:     topo,
+		Backend:      be,
+		Faults:       faultPlan,
+		CkptInterval: ckptInterval,
 	}
 	if *algorithm == "partitioned" {
 		cfg.Algorithm = pipeline.GraphPartitioned
@@ -123,6 +135,14 @@ func main() {
 	if cfg.K > 0 && res.EffectiveK > cfg.K {
 		fmt.Printf("note: bulk size clamped up from k=%d to %d (the schedule samples at least one batch per block per round)\n",
 			cfg.K, res.EffectiveK)
+	}
+	if rec := res.Recovery; rec != nil && rec.Attempts > 1 {
+		fmt.Printf("recovery: %d attempt(s), %d failure(s) fired, %.6g sim-sec wasted\n",
+			rec.Attempts, len(rec.Failures), rec.WastedSim)
+		for i, f := range rec.Failures {
+			fmt.Printf("  failure %d: rank %d at %.6g sim-sec, resumed from epoch %d\n",
+				i, f.Rank, f.At, rec.RestartEpochs[i])
+		}
 	}
 	if *ckptOut != "" {
 		f, err := os.Create(*ckptOut)

@@ -184,6 +184,7 @@ var Analyzers = []*Analyzer{
 	MapOrder,
 	Benchpool,
 	ArenaEscape,
+	Faultseam,
 }
 
 func knownChecks() map[string]bool {

@@ -39,6 +39,10 @@ func TestArenaEscape(t *testing.T) {
 	analysistest.Run(t, analysis.ArenaEscape, "testdata/arenaescape", "repro/fixture")
 }
 
+func TestFaultseam(t *testing.T) {
+	analysistest.Run(t, analysis.Faultseam, "testdata/faultseam", "repro/internal/pipeline")
+}
+
 // TestAllowMarkers runs the marker-grammar fixture: malformed and
 // unknown-check markers are findings under the "allow" pseudo-check
 // and do not suppress, while a well-formed marker does.

@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Faultseam confines fault-injection plan construction to the FaultPlan
+// seam. Failure plans enter a run only through cluster.CostModel.Faults,
+// and the values that ride it — cluster.FaultPlan, cluster.Failure,
+// cluster.RankFailure — are built only by the packages that own the
+// seam: internal/cluster (the types and the fail-stop machinery),
+// internal/resilience (FailAt / Plan / RandomPlan and the restart
+// bookkeeping) and internal/cliutil (the -faults flag parser). A
+// driver or experiment that hand-rolls a plan literal bypasses
+// Validate, the seeded-random sweep conventions, and the restart
+// driver's retire-on-fire bookkeeping; one that fabricates a
+// RankFailure forges the error the recovery contract keys on. The
+// analyzer flags composite literals of the three types anywhere else,
+// steering construction through the resilience constructors.
+var Faultseam = &Analyzer{
+	Name: "faultseam",
+	Doc:  "confine FaultPlan/Failure/RankFailure construction to the fault seam (cluster, resilience, cliutil)",
+	Run:  runFaultseam,
+}
+
+// faultseamExempt lists the packages that own the seam.
+var faultseamExempt = map[string]bool{
+	"repro/internal/cluster":    true,
+	"repro/internal/resilience": true,
+	"repro/internal/cliutil":    true,
+}
+
+// faultseamTypes are the seam's value types, matched by name: the
+// real ones live in repro/internal/cluster, and fixture stubs carry
+// the same names.
+var faultseamTypes = map[string]string{
+	"FaultPlan":   "build plans with resilience.FailAt / resilience.Plan / resilience.RandomPlan (or cliutil.ParseFaults for flag input)",
+	"Failure":     "build entries with resilience.Failure",
+	"RankFailure": "RankFailure is produced by the cluster's fail-stop machinery only; synthesizing one forges the recovery contract's root-cause error",
+}
+
+func runFaultseam(pass *Pass) error {
+	if pass.Pkg == nil || faultseamExempt[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue // tests may build plans to probe the seam itself
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(cl)
+			if t == nil {
+				return true
+			}
+			if ptr, ok := t.(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			named, ok := t.(*types.Named)
+			if !ok {
+				return true
+			}
+			hint, hit := faultseamTypes[named.Obj().Name()]
+			if !hit {
+				return true
+			}
+			pass.Reportf(cl.Pos(), "fault-injection value %s constructed outside the FaultPlan seam: %s",
+				named.Obj().Name(), hint)
+			return true
+		})
+	}
+	return nil
+}

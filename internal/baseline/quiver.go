@@ -13,6 +13,7 @@
 package baseline
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/cluster"
@@ -22,7 +23,9 @@ import (
 	"repro/internal/distsample"
 	"repro/internal/engine"
 	"repro/internal/gnn"
+	"repro/internal/graphio"
 	"repro/internal/pipeline"
+	"repro/internal/resilience"
 )
 
 // QuiverConfig drives the Quiver-strategy baseline.
@@ -59,6 +62,15 @@ type QuiverConfig struct {
 	// are bit-identical either way; zero resolves $GNN_BACKEND, then
 	// goroutines.
 	Backend cluster.Backend
+
+	// Faults is the fail-stop injection plan (merged into Model.Faults),
+	// and CkptInterval the epoch-boundary checkpoint cadence, with the
+	// same semantics as the paper pipeline's fields (pipeline.Config):
+	// the baseline recovers from injected failures through the same
+	// checkpoint/restore machinery, so resilience comparisons hold it to
+	// the same rules.
+	Faults       *cluster.FaultPlan
+	CkptInterval int
 }
 
 // hostFeatureFraction is the share of feature rows served from host
@@ -98,14 +110,16 @@ func RunQuiver(d *datasets.Dataset, cfg QuiverConfig) (*pipeline.Result, error) 
 	if err := cfg.Model.Topology.Validate(); err != nil {
 		return nil, fmt.Errorf("baseline: %w", err)
 	}
+	if cfg.Faults != nil {
+		cfg.Model.Faults = cfg.Faults
+	}
+	if err := cfg.Model.Faults.Validate(cfg.P); err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	if cfg.CkptInterval < 0 {
+		return nil, fmt.Errorf("baseline: negative checkpoint interval %d", cfg.CkptInterval)
+	}
 	layers := len(d.Fanouts)
-
-	cl := cluster.New(cfg.P, cfg.Model)
-	// Features are block-partitioned over all p ranks (grid with c=1);
-	// the fetch all-to-allv spans the world communicator.
-	grid := cluster.NewGrid(cl, cfg.P, 1)
-	stores := pipeline.NewFeatureStores(grid, d.Features)
-	world := grid.World()
 
 	batches := d.Batches()
 	totalBatches := len(batches)
@@ -132,120 +146,212 @@ func RunQuiver(d *datasets.Dataset, cfg QuiverConfig) (*pipeline.Result, error) 
 	// Replicated-state dedup (see pipeline.Run): one shared model and
 	// optimizer for all data-parallel ranks; the step runs once per
 	// minibatch inside the gradient all-reduce.
-	model := gnn.NewModel(gnn.Config{
-		In:      d.Features.Cols,
-		Hidden:  cfg.Hidden,
-		Classes: d.NumClasses,
-		Layers:  layers,
-		Seed:    cfg.Seed,
-	})
+	newModel := func() *gnn.Model {
+		return gnn.NewModel(gnn.Config{
+			In:      d.Features.Cols,
+			Hidden:  cfg.Hidden,
+			Classes: d.NumClasses,
+			Layers:  layers,
+			Seed:    cfg.Seed,
+		})
+	}
+	model := newModel()
 	opt := dense.NewAdam(cfg.LR)
 	zeroGrads := make([]float64, model.NumParams())
 
-	res, err := cl.Run(func(r *cluster.Rank) error {
-		store := stores[r.ID]
-		local := distsample.ReplicatedBatches(cfg.P, r.ID, batches)
-		lossSums[r.ID] = make([]float64, cfg.Epochs)
-		lossCounts[r.ID] = make([]int, cfg.Epochs)
+	var col *resilience.Collector
+	if cfg.CkptInterval > 0 {
+		col = resilience.NewCollector(cfg.P)
+	}
+	ckptBytes := resilience.CheckpointBytes(model.NumParams())
 
-		for epoch := 0; epoch < cfg.Epochs; epoch++ {
-			epochSeed := cfg.Seed + int64(epoch)*7919
-			lossSum, lossN := 0.0, 0
+	// attempt runs the cluster once from startEpoch, optionally seeded
+	// with a restored checkpoint (see pipeline.Run — same structure,
+	// same restart driver below).
+	attempt := func(plan *cluster.FaultPlan, startEpoch int, ck *graphio.Checkpoint) (*cluster.Result, error) {
+		m := cfg.Model
+		m.Faults = plan
+		cl := cluster.New(cfg.P, m)
+		// Features are block-partitioned over all p ranks (grid with
+		// c=1); the fetch all-to-allv spans the world communicator.
+		grid := cluster.NewGrid(cl, cfg.P, 1)
+		stores := pipeline.NewFeatureStores(grid, d.Features)
+		world := grid.World()
 
-			// The Quiver strategy is strictly bulk synchronous — no
-			// prefetching — so the staged engine runs its sequential
-			// schedule; the stage decomposition only shares structure
-			// (and phase accounting) with the paper's pipeline.
-			pipe := &engine.Pipeline{Stages: []engine.Stage{
-				// 1) Per-minibatch sampling: one bulk call of size
-				// one, paying full kernel-launch overhead per batch
-				// per layer — the cost bulk sampling amortizes.
-				{
-					Name: pipeline.PhaseSampling,
-					Run: func(rs *cluster.Rank, round int, _ any) (any, error) {
-						rs.SetPhase(pipeline.PhaseSampling)
-						var it quiverItem
-						if round < len(local) {
-							bulk := core.SampleBulk(core.SAGE{}, d.Graph.Adj,
-								[][]int{local[round]}, d.Fanouts, epochSeed+int64(round))
-							cost := bulk.Cost
-							if cfg.UVA {
-								// Graph lives in host DRAM: every
-								// adjacency row visited crosses PCIe
-								// (16 bytes/entry), and the irregular
-								// work runs at an effective rate
-								// bounded by the host link.
-								rs.ChargeLink(cluster.HostLink, cost.ProbFlops*16)
-								rs.ChargeSparse(cost.SampleOps + cost.ExtractOps)
-							} else {
-								rs.ChargeSparse(cost.Total())
-							}
-							rs.ChargeKernels(cost.Kernels)
-							it.bg = bulk.ExtractBatch(0)
-							it.verts = it.bg.InputVertices()
-						}
-						return it, nil
-					},
-				},
-				// 2) Feature fetch across all p ranks.
-				{
-					Name: pipeline.PhaseFeatureFetch,
-					Run: func(rf *cluster.Rank, round int, in any) (any, error) {
-						it := in.(quiverItem)
-						rf.SetPhase(pipeline.PhaseFeatureFetch)
-						it.feats = store.Fetch(rf, it.verts)
-						if cfg.UVA && it.bg != nil {
-							hostRows := int(hostFeatureFraction * float64(len(it.verts)))
-							rf.ChargeLink(cluster.HostLink, int64(hostRows*d.Features.Cols*8))
-						}
-						return it, nil
-					},
-				},
-				// 3) Propagation with data-parallel all-reduce.
-				{
-					Name: pipeline.PhasePropagation,
-					Run: func(rm *cluster.Rank, round int, in any) (any, error) {
-						it := in.(quiverItem)
-						rm.SetPhase(pipeline.PhasePropagation)
-						grads := zeroGrads
-						if it.bg != nil {
-							act, fwdFlops := model.Forward(it.bg, it.feats)
-							labels := make([]int, len(it.bg.Seeds))
-							for i, v := range it.bg.Seeds {
-								labels[i] = d.Labels[v]
-							}
-							loss, dLogits := gnn.Loss(act, labels)
-							g, bwdFlops := model.Backward(act, dLogits)
-							grads = g
-							rm.ChargeDense(fwdFlops + bwdFlops)
-							rm.ChargeKernels(4 * layers)
-							lossSum += loss
-							lossN++
-						}
-						cluster.AllReduceSumApply(world, rm, grads, func(total []float64) {
-							inv := 1.0 / float64(cfg.P)
-							for i := range total {
-								total[i] *= inv
-							}
-							opt.Step(model.Params(), total)
-						})
-						return nil, nil
-					},
-				},
-			}}
-			if err := pipe.Execute(r, rounds); err != nil {
-				return err
+		return cl.Run(func(r *cluster.Rank) error {
+			if ck != nil {
+				r.Restore(ck.Ranks[r.ID])
 			}
-			lossSums[r.ID][epoch] = lossSum
-			lossCounts[r.ID][epoch] = lossN
+			store := stores[r.ID]
+			local := distsample.ReplicatedBatches(cfg.P, r.ID, batches)
+			if lossSums[r.ID] == nil {
+				lossSums[r.ID] = make([]float64, cfg.Epochs)
+				lossCounts[r.ID] = make([]int, cfg.Epochs)
+			}
+
+			for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
+				epochSeed := cfg.Seed + int64(epoch)*7919
+				lossSum, lossN := 0.0, 0
+
+				// The Quiver strategy is strictly bulk synchronous — no
+				// prefetching — so the staged engine runs its sequential
+				// schedule; the stage decomposition only shares structure
+				// (and phase accounting) with the paper's pipeline.
+				pipe := &engine.Pipeline{Stages: []engine.Stage{
+					// 1) Per-minibatch sampling: one bulk call of size
+					// one, paying full kernel-launch overhead per batch
+					// per layer — the cost bulk sampling amortizes.
+					{
+						Name: pipeline.PhaseSampling,
+						Run: func(rs *cluster.Rank, round int, _ any) (any, error) {
+							rs.SetPhase(pipeline.PhaseSampling)
+							var it quiverItem
+							if round < len(local) {
+								bulk := core.SampleBulk(core.SAGE{}, d.Graph.Adj,
+									[][]int{local[round]}, d.Fanouts, epochSeed+int64(round))
+								cost := bulk.Cost
+								if cfg.UVA {
+									// Graph lives in host DRAM: every
+									// adjacency row visited crosses PCIe
+									// (16 bytes/entry), and the irregular
+									// work runs at an effective rate
+									// bounded by the host link.
+									rs.ChargeLink(cluster.HostLink, cost.ProbFlops*16)
+									rs.ChargeSparse(cost.SampleOps + cost.ExtractOps)
+								} else {
+									rs.ChargeSparse(cost.Total())
+								}
+								rs.ChargeKernels(cost.Kernels)
+								it.bg = bulk.ExtractBatch(0)
+								it.verts = it.bg.InputVertices()
+							}
+							return it, nil
+						},
+					},
+					// 2) Feature fetch across all p ranks.
+					{
+						Name: pipeline.PhaseFeatureFetch,
+						Run: func(rf *cluster.Rank, round int, in any) (any, error) {
+							it := in.(quiverItem)
+							rf.SetPhase(pipeline.PhaseFeatureFetch)
+							it.feats = store.Fetch(rf, it.verts)
+							if cfg.UVA && it.bg != nil {
+								hostRows := int(hostFeatureFraction * float64(len(it.verts)))
+								rf.ChargeLink(cluster.HostLink, int64(hostRows*d.Features.Cols*8))
+							}
+							return it, nil
+						},
+					},
+					// 3) Propagation with data-parallel all-reduce.
+					{
+						Name: pipeline.PhasePropagation,
+						Run: func(rm *cluster.Rank, round int, in any) (any, error) {
+							it := in.(quiverItem)
+							rm.SetPhase(pipeline.PhasePropagation)
+							grads := zeroGrads
+							if it.bg != nil {
+								act, fwdFlops := model.Forward(it.bg, it.feats)
+								labels := make([]int, len(it.bg.Seeds))
+								for i, v := range it.bg.Seeds {
+									labels[i] = d.Labels[v]
+								}
+								loss, dLogits := gnn.Loss(act, labels)
+								g, bwdFlops := model.Backward(act, dLogits)
+								grads = g
+								rm.ChargeDense(fwdFlops + bwdFlops)
+								rm.ChargeKernels(4 * layers)
+								lossSum += loss
+								lossN++
+							}
+							cluster.AllReduceSumApply(world, rm, grads, func(total []float64) {
+								inv := 1.0 / float64(cfg.P)
+								for i := range total {
+									total[i] *= inv
+								}
+								opt.Step(model.Params(), total)
+							})
+							return nil, nil
+						},
+					},
+				}}
+				if err := pipe.Execute(r, rounds); err != nil {
+					return err
+				}
+				lossSums[r.ID][epoch] = lossSum
+				lossCounts[r.ID][epoch] = lossN
+				// Epoch-boundary checkpoint, identical protocol to
+				// pipeline.Run: charge first (the restore point includes
+				// the write), then contribute snapshots; rank 0 adds the
+				// replicated training state. The baseline has no dropout,
+				// so the stream position saved is the seed's zero value.
+				if bdry := epoch + 1; col != nil && bdry%cfg.CkptInterval == 0 && bdry < cfg.Epochs {
+					r.SetPhase(resilience.PhaseCheckpoint)
+					r.ChargeLink(cluster.HostLink, ckptBytes)
+					if r.ID == 0 {
+						t, am, av := opt.State()
+						if err := col.AddState(bdry, model.DropoutSeed(), model.Params(), t, am, av); err != nil {
+							return err
+						}
+					}
+					if err := col.AddRank(bdry, r.ID, r.Snapshot()); err != nil {
+						return err
+					}
+				}
+			}
+			if r.ID == 0 {
+				finalParams = append([]float64(nil), model.Params()...)
+			}
+			return nil
+		})
+	}
+
+	// Restart driver (see pipeline.Run for the full rationale): retire
+	// the fired failure, restore the latest checkpoint or rebuild the
+	// deterministic initial state, and re-run until an attempt finishes.
+	plan := cfg.Model.Faults
+	var rec *resilience.Stats
+	if plan != nil || col != nil {
+		rec = &resilience.Stats{}
+	}
+	var res *cluster.Result
+	restarted := false
+	startEpoch, restoreClock := 0, 0.0
+	var ck *graphio.Checkpoint
+	for {
+		if rec != nil {
+			rec.Attempts++
 		}
-		if r.ID == 0 {
-			finalParams = append([]float64(nil), model.Params()...)
+		if ck != nil {
+			model.SetParams(ck.Params)
+			model.SetDropoutSeed(ck.DropSeed)
+			opt.SetState(ck.OptT, ck.OptM, ck.OptV)
+		} else if restarted {
+			model = newModel()
+			opt = dense.NewAdam(cfg.LR)
 		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
+		r, err := attempt(plan, startEpoch, ck)
+		if err == nil {
+			res = r
+			break
+		}
+		var rf *cluster.RankFailure
+		if !errors.As(err, &rf) {
+			return nil, err
+		}
+		plan = plan.Retire(rf)
+		restarted = true
+		ck, startEpoch, restoreClock = nil, 0, 0
+		if col != nil {
+			col.Abort()
+			if ck, err = col.Latest(); err != nil {
+				return nil, err
+			}
+			if ck != nil {
+				startEpoch = ck.Epoch
+				restoreClock = col.LatestClock()
+			}
+		}
+		rec.RecordFailure(rf, startEpoch, restoreClock)
 	}
 
 	epochs := make([]pipeline.EpochStats, cfg.Epochs)
@@ -268,7 +374,7 @@ func RunQuiver(d *datasets.Dataset, cfg QuiverConfig) (*pipeline.Result, error) 
 		}
 		epochs[e].Total = epochs[e].Sampling + epochs[e].FeatureFetch + epochs[e].Propagation
 	}
-	return &pipeline.Result{Epochs: epochs, Cluster: res, Params: finalParams}, nil
+	return &pipeline.Result{Epochs: epochs, Cluster: res, Params: finalParams, Recovery: rec}, nil
 }
 
 // CPULadiesReference simulates the serial reference LADIES sampler

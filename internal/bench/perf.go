@@ -13,6 +13,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/datasets"
 	"repro/internal/pipeline"
+	"repro/internal/resilience"
 )
 
 // This file is the simulator's own performance-regression suite: a
@@ -117,6 +118,15 @@ func perfMatrix() []perfCase {
 		{"epoch-contention-tiny-p128-oversub-des", datasets.Tiny,
 			pipeline.Config{P: 128, C: 8, K: pipeline.KAll, Epochs: 1, Seed: 20240101,
 				Topology: oversub, Backend: des}},
+		// Crash-recovery row: the replicated acceptance shape run for two
+		// epochs with an epoch-1 checkpoint and a pinned fail-stop at
+		// 0.7ms simulated — ~73% of the clean span, inside epoch 2 — so
+		// every rep pays the full recovery path (fail-stop unwind, poison
+		// sweep, checkpoint decode, resumed attempt). Guards the seam's
+		// wall cost; sim-sec pins the recovered timeline's determinism.
+		{"epoch-recovery-small-p16", datasets.Small,
+			pipeline.Config{P: 16, C: 4, K: pipeline.KAll, Epochs: 2, Seed: 20240101,
+				CkptInterval: 1, Faults: resilience.FailAt(8, 0.0007)}},
 	}
 }
 

@@ -10,9 +10,11 @@ package cliutil
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
+	"repro/internal/cluster"
 	"repro/internal/datasets"
 )
 
@@ -103,6 +105,65 @@ func ParsePerfReps(s string) (int, error) {
 	}
 	return v, nil
 }
+
+// ParseFaults parses a -faults flag: a comma-separated list of
+// rank@seconds fail-stop events (the canonical FaultPlan.String form,
+// surrounding spaces tolerated), e.g. "1@0.5,3@1.25". Empty and
+// "default" mean no injection (nil plan). Times must be positive and
+// finite; rank range is validated later against the run's cluster size
+// (FaultPlan.Validate), since the flag parser does not know p.
+func ParseFaults(s string) (*cluster.FaultPlan, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "default" {
+		return nil, nil
+	}
+	var failures []cluster.Failure
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		rankStr, atStr, ok := strings.Cut(part, "@")
+		if !ok {
+			return nil, fmt.Errorf("bad fault %q (want rank@seconds, e.g. 1@0.5)", part)
+		}
+		rank, err := strconv.Atoi(strings.TrimSpace(rankStr))
+		if err != nil || rank < 0 {
+			return nil, fmt.Errorf("bad fault rank %q in %q (want a non-negative integer)", rankStr, part)
+		}
+		at, err := strconv.ParseFloat(strings.TrimSpace(atStr), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad fault time %q in %q (want simulated seconds)", atStr, part)
+		}
+		if !(at > 0) || math.IsInf(at, 0) {
+			return nil, fmt.Errorf("bad fault time %v in %q: must be positive and finite", at, part)
+		}
+		failures = append(failures, cluster.Failure{Rank: rank, At: at})
+	}
+	return &cluster.FaultPlan{Failures: failures}, nil
+}
+
+// FaultsUsage is the shared help text for -faults flags.
+const FaultsUsage = "fail-stop injection plan: comma-separated rank@seconds events (e.g. 1@0.5,3@1.25)"
+
+// ParseCkptInterval parses a -ckpt-interval flag: checkpoint the
+// resumable training state every N completed epochs. Empty, "default"
+// and "0" mean no checkpointing (returned as 0); negative and
+// non-integer values are rejected.
+func ParseCkptInterval(s string) (int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "default" {
+		return 0, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad checkpoint interval %q (want a non-negative epoch count or \"default\")", s)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("bad checkpoint interval %d: must be >= 0 (0 = no checkpoints)", v)
+	}
+	return v, nil
+}
+
+// CkptIntervalUsage is the shared help text for -ckpt-interval flags.
+const CkptIntervalUsage = "checkpoint the resumable training state every N completed epochs (0 = off)"
 
 // RequireExperiment rejects a flag scoped to one experiment when a
 // different experiment is selected. Silently ignoring -perfout on a

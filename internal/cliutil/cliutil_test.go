@@ -239,3 +239,69 @@ func TestBackendFlagTable(t *testing.T) {
 		}
 	}
 }
+
+func TestParseFaultsAccepts(t *testing.T) {
+	cases := map[string]string{
+		"":              "",
+		"default":       "",
+		" default ":     "",
+		"1@0.5":         "1@0.5",
+		" 1@0.5 ":       "1@0.5",
+		"1@0.5,3@1.25":  "1@0.5,3@1.25",
+		"3@1.25, 1@0.5": "1@0.5,3@1.25", // String renders sorted by (time, rank)
+		"0@1e-9":        "0@1e-09",
+		"2 @ 0.25":      "2@0.25",
+		"1@0.5,1@0.75":  "1@0.5,1@0.75", // same rank twice is a valid plan
+	}
+	for in, want := range cases {
+		plan, err := ParseFaults(in)
+		if err != nil {
+			t.Errorf("ParseFaults(%q): %v", in, err)
+			continue
+		}
+		if got := plan.String(); got != want {
+			t.Errorf("ParseFaults(%q) = %q, want %q", in, got, want)
+		}
+		if want == "" && plan != nil {
+			t.Errorf("ParseFaults(%q) = %v, want nil plan", in, plan)
+		}
+	}
+}
+
+func TestParseFaultsRejects(t *testing.T) {
+	for _, in := range []string{
+		"1", "@", "1@", "@0.5", "1@0.5,", ",", "1@0.5,,2@1",
+		"-1@0.5", "x@0.5", "1@x", "1@0", "1@-1", "1@NaN", "1@Inf", "1@-Inf",
+		"1@0.5;2@1", "1.5@0.5", "1@@0.5",
+	} {
+		if plan, err := ParseFaults(in); err == nil {
+			t.Errorf("ParseFaults(%q) accepted: %v", in, plan)
+		}
+	}
+}
+
+func TestParseCkptIntervalAccepts(t *testing.T) {
+	cases := map[string]int{
+		"":          0,
+		"default":   0,
+		" default ": 0,
+		"0":         0, // explicit off
+		"1":         1,
+		" 4 ":       4,
+		"100":       100,
+	}
+	for in, want := range cases {
+		got, err := ParseCkptInterval(in)
+		if err != nil || got != want {
+			t.Errorf("ParseCkptInterval(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+}
+
+func TestParseCkptIntervalRejects(t *testing.T) {
+	for _, in := range []string{"-1", "-100", "two", "1.5", "4,8", "1e3", "+-2", "interval"} {
+		if _, err := ParseCkptInterval(in); err == nil {
+			t.Errorf("ParseCkptInterval(%q) accepted", in)
+		}
+	}
+}

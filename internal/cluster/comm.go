@@ -418,8 +418,26 @@ func (c *Comm) abandonedLocked() int {
 	return -1
 }
 
-// abandonErr is the shared deadlock diagnostic.
+// abandonErr is the shared diagnostic for a collective a peer can
+// never join. When the peer died to an injected fail-stop the error is
+// a recoverable fault abort (wraps ErrRankFailed — the collective
+// timeout/abort semantics surviving ranks observe); otherwise it is
+// the bug-class deadlock diagnostic that crashes as before.
 func (c *Comm) abandonErr(m int, op string) error {
+	if f := c.cl.failureOf(m); f != nil {
+		// Wrapping f itself (not just the sentinel) keeps the root
+		// *RankFailure reachable via errors.As, so a survivor's abort
+		// error records the same root when IT abandons collectives in
+		// turn — cascades stay fault-class all the way down.
+		if f.Rank != m {
+			// Cascade: m never failed itself — it aborted on a peer's
+			// fail-stop elsewhere and so will never join here.
+			return fmt.Errorf("cluster: collective aborted on comm %v (dup %q): rank %d aborted before joining %s%s: %w",
+				c.members, c.key, m, op, c.diag(), f)
+		}
+		return fmt.Errorf("cluster: collective aborted on comm %v (dup %q): rank %d died before joining %s%s: %w",
+			c.members, c.key, m, op, c.diag(), f)
+	}
 	return fmt.Errorf("cluster: deadlock on comm %v (dup %q): rank %d finished without joining %s%s",
 		c.members, c.key, m, op, c.diag())
 }

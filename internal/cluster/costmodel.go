@@ -106,6 +106,15 @@ type CostModel struct {
 	// if it had its tier's wire to itself, bit-identical to the
 	// pre-topology code (pinned by the golden tests).
 	Topology *Topology
+
+	// Faults is the deterministic fail-stop injection plan (see
+	// FaultPlan): rank r halts when its simulated clock reaches t,
+	// poisoning its pending collectives so survivors abort with a
+	// recoverable error wrapping ErrRankFailed. Riding the cost model,
+	// like Collectives and Topology, a plan travels everywhere a model
+	// does. nil — the default — injects nothing and leaves every run
+	// bit-identical to a model without the field.
+	Faults *FaultPlan
 }
 
 // slowdown returns the compute multiplier for a rank. Any positive

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -59,6 +60,12 @@ type Rank struct {
 	// cont is the cluster's physical-link contention ledger (nil when
 	// the model carries no Topology); ChargeLink routes through it.
 	cont *contention
+
+	// failAt is the armed fail-stop time from the cluster's FaultPlan
+	// (0 = none): the first charge whose accrual reaches it panics with
+	// a RankFailure. Every stream of a failing rank inherits the time —
+	// each timeline halts when its own clock crosses it.
+	failAt float64
 
 	// cl is the owning cluster; the synchronization primitives consult
 	// it for the backend and, under DES, the scheduler.
@@ -127,6 +134,7 @@ func (r *Rank) Stream(name string) *Rank {
 		stream: name,
 		acct:   r.acct,
 		cont:   r.cont,
+		failAt: r.failAt,
 		cl:     r.cl,
 	}
 	s.rebuildPhaseSlots()
@@ -256,6 +264,19 @@ func (r *Rank) advance(dt float64, comm bool) {
 		if comm {
 			r.phaseComm[s] += dt
 		}
+	}
+	if r.failAt > 0 && r.clock >= r.failAt {
+		// Fail-stop: this timeline halts at the first charge that
+		// reaches its planned failure time. Disarm before panicking so
+		// a charge during unwinding cannot re-fire, and panic with the
+		// planned time (not the overshot clock) so the restart driver
+		// can retire exactly the plan entry that fired. The cluster
+		// backend recovers the panic into the rank's error slot; peers
+		// blocked on this rank's collectives observe a poisoned
+		// rendezvous wrapping ErrRankFailed.
+		at := r.failAt
+		r.failAt = 0
+		panic(&RankFailure{Rank: r.ID, At: at})
 	}
 }
 
@@ -497,6 +518,15 @@ type Cluster struct {
 	// abandoned-peer scan entirely until some body has returned.
 	done    []bool
 	anyDone atomic.Bool
+	// failures records, per terminated rank, the root injected
+	// fail-stop behind its termination in the current Run (nil when
+	// none fired) — the rank's own fail-stop, or, for a rank that
+	// aborted because a peer's failure poisoned its collective, that
+	// peer's failure. The deadlock detector consults it to diagnose an
+	// abandoned collective as a recoverable fault abort rather than a
+	// bug — including cascades, where the abandoning rank never failed
+	// itself — and Run returns the earliest root failure.
+	failures map[int]*RankFailure
 }
 
 // markDone records that a rank's body returned and sweeps every
@@ -547,6 +577,7 @@ func (c *Cluster) Run(body func(r *Rank) error) (*Result, error) {
 	// a communicator from a differently-named stream than the last).
 	c.mu.Lock()
 	c.done = make([]bool, c.N)
+	c.failures = nil
 	comms := append([]*Comm(nil), c.comms...)
 	c.mu.Unlock()
 	c.anyDone.Store(false)
@@ -568,6 +599,7 @@ func (c *Cluster) Run(body func(r *Rank) error) (*Result, error) {
 			cl:     c,
 		}
 		ranks[i].rebuildPhaseSlots()
+		ranks[i].failAt = c.Model.Faults.failAt(i)
 	}
 	errs := make([]error, c.N)
 	if c.backend == DESBackend {
@@ -583,7 +615,7 @@ func (c *Cluster) Run(body func(r *Rank) error) (*Result, error) {
 			i := i
 			ranks[i].task = s.Spawn(i, func(*sim.Task) {
 				defer c.markDone(i)
-				errs[i] = body(ranks[i])
+				errs[i] = c.runBody(body, ranks[i])
 			})
 			s.Ready(ranks[i].task, 0)
 		}
@@ -602,16 +634,34 @@ func (c *Cluster) Run(body func(r *Rank) error) (*Result, error) {
 			go func(i int) {
 				defer wg.Done()
 				defer c.markDone(i)
-				errs[i] = body(ranks[i])
+				errs[i] = c.runBody(body, ranks[i])
 			}(i)
 		}
 		//gnnvet:allow parkwake — joins the goroutine backend's rank bodies; runs outside simulated time
 		wg.Wait()
 	}
+	// Error selection: a bug-class error wins (first by rank order, the
+	// historical behavior); otherwise, when every error is fault-class,
+	// return the earliest RankFailure — the root cause a restart driver
+	// retires from the plan — rather than whichever survivor's abort
+	// error happens to sit at the lowest rank id.
+	var fault error
 	for _, err := range errs {
-		if err != nil {
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, ErrRankFailed) {
 			return nil, err
 		}
+		if fault == nil {
+			fault = err
+		}
+	}
+	if fault != nil {
+		if rf := c.earliestFailure(); rf != nil {
+			return nil, rf
+		}
+		return nil, fault
 	}
 	res := &Result{Ranks: make([]Stats, c.N)}
 	for i, r := range ranks {

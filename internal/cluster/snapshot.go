@@ -1,0 +1,131 @@
+package cluster
+
+// StreamSnapshot captures one execution timeline's clock and phase
+// accumulators. PhaseTotal/PhaseComm/PhaseTouched are indexed by the
+// acct's interned slot ids, in interning order (RankSnapshot.Phases
+// records the names so a restore re-interns the same order).
+type StreamSnapshot struct {
+	Clock        float64
+	PhaseTotal   []float64
+	PhaseComm    []float64
+	PhaseTouched []bool
+}
+
+// RankSnapshot captures a rank's complete accounting state at a
+// quiescent point — no forked stream running, which epoch boundaries
+// guarantee (the engine joins every stream before Execute returns).
+// Restoring it into a fresh Run resumes the rank's timeline exactly:
+// the main stream continues the same partial float sums in the same
+// order, the already-finished forked streams are re-materialized as
+// inert ghosts for the stats fold, and the integer traffic counters
+// carry over — so a run restored at epoch e finishes with accounting
+// bit-identical to one that was never interrupted.
+type RankSnapshot struct {
+	// Phases holds the interned phase names in slot order.
+	Phases    []string
+	BytesSent int64
+	OpCount   map[string]int64
+	OpBytes   map[string]int64
+	LinkBytes map[string][3]int64
+	// Main is the rank's own timeline; Streams are the forked streams
+	// in creation order (the stats fold order).
+	Main    StreamSnapshot
+	Streams []StreamSnapshot
+}
+
+func snapStream(r *Rank) StreamSnapshot {
+	return StreamSnapshot{
+		Clock:        r.clock,
+		PhaseTotal:   append([]float64(nil), r.phaseTotal...),
+		PhaseComm:    append([]float64(nil), r.phaseComm...),
+		PhaseTouched: append([]bool(nil), r.phaseTouched...),
+	}
+}
+
+// Snapshot captures the rank's accounting. Call it only on the main
+// timeline, at a point where no forked stream is running (an epoch
+// boundary).
+func (r *Rank) Snapshot() RankSnapshot {
+	if r.stream != "" {
+		panic("cluster: Snapshot must run on the rank's main timeline")
+	}
+	a := r.acct
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	snap := RankSnapshot{
+		Phases:    append([]string(nil), a.phaseNames...),
+		BytesSent: a.bytesSent,
+		OpCount:   make(map[string]int64, len(a.opCount)),
+		OpBytes:   make(map[string]int64, len(a.opBytes)),
+		LinkBytes: make(map[string][3]int64, len(a.linkBytes)),
+		Main:      snapStream(r),
+	}
+	for k, v := range a.opCount {
+		snap.OpCount[k] = v
+	}
+	for k, v := range a.opBytes {
+		snap.OpBytes[k] = v
+	}
+	for k, v := range a.linkBytes {
+		snap.LinkBytes[k] = v
+	}
+	for _, s := range a.streams {
+		snap.Streams = append(snap.Streams, snapStream(s))
+	}
+	return snap
+}
+
+// Restore seeds a freshly-created rank (a new Run, before any work)
+// with a snapshot taken in an earlier run: phase names are re-interned
+// in recorded order so slot ids match, the main timeline resumes at
+// the snapshot clock with the same partial phase sums, and each
+// pre-snapshot forked stream becomes an inert "ghost" entry in the
+// stream list — it never runs again, but the stats fold sums its
+// recorded accumulators at the same position in creation order, which
+// keeps the folded totals bit-identical to an uninterrupted run's
+// (float addition is order-sensitive). Streams forked after Restore
+// append after the ghosts, exactly where the uninterrupted run's later
+// streams would sit.
+func (r *Rank) Restore(snap RankSnapshot) {
+	if r.stream != "" {
+		panic("cluster: Restore must run on the rank's main timeline")
+	}
+	for _, name := range snap.Phases {
+		r.acct.slotFor(name)
+	}
+	a := r.acct
+	a.mu.Lock()
+	a.bytesSent = snap.BytesSent
+	for k, v := range snap.OpCount {
+		a.opCount[k] = v
+	}
+	for k, v := range snap.OpBytes {
+		a.opBytes[k] = v
+	}
+	for k, v := range snap.LinkBytes {
+		a.linkBytes[k] = v
+	}
+	for _, ss := range snap.Streams {
+		a.streams = append(a.streams, &Rank{
+			ID:           r.ID,
+			N:            r.N,
+			model:        r.model,
+			clock:        ss.Clock,
+			stream:       "(ghost)",
+			acct:         a,
+			phaseTotal:   append([]float64(nil), ss.PhaseTotal...),
+			phaseComm:    append([]float64(nil), ss.PhaseComm...),
+			phaseTouched: append([]bool(nil), ss.PhaseTouched...),
+			cont:         r.cont,
+			cl:           r.cl,
+		})
+	}
+	a.mu.Unlock()
+	r.clock = snap.Main.Clock
+	r.phaseTotal = append(r.phaseTotal[:0], snap.Main.PhaseTotal...)
+	r.phaseComm = append(r.phaseComm[:0], snap.Main.PhaseComm...)
+	r.phaseTouched = append(r.phaseTouched[:0], snap.Main.PhaseTouched...)
+	// The phase stack is untouched (still the fresh run's base level);
+	// its slots were interned by the loop above if the names recur.
+	r.rebuildPhaseSlots()
+}

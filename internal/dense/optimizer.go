@@ -62,6 +62,27 @@ func NewAdamW(lr, decay float64) *Adam {
 	return o
 }
 
+// State returns the optimizer's step count and copies of the first-
+// and second-moment vectors (nil before the first Step). Together with
+// SetState it lets a checkpoint capture and restore mid-training
+// optimizer state bit-for-bit.
+func (o *Adam) State() (t int, m, v []float64) {
+	return o.t, append([]float64(nil), o.m...), append([]float64(nil), o.v...)
+}
+
+// SetState restores a state previously read via State. The moment
+// vectors are copied in; passing nil slices resets the optimizer to
+// its pre-first-Step lazy-init state.
+func (o *Adam) SetState(t int, m, v []float64) {
+	o.t = t
+	if m == nil {
+		o.m, o.v = nil, nil
+		return
+	}
+	o.m = append([]float64(nil), m...)
+	o.v = append([]float64(nil), v...)
+}
+
 // Step applies one Adam update.
 func (o *Adam) Step(params, grads []float64) {
 	if o.m == nil {

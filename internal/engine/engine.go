@@ -48,6 +48,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/cluster"
@@ -120,12 +121,56 @@ func (p *Pipeline) executeSequential(r *cluster.Rank, n int) error {
 		var v any
 		var err error
 		for _, st := range p.Stages {
-			v, err = st.Run(r, i, v)
+			v, err = runItem(st, r, i, v)
 			if err != nil {
 				return err
 			}
 		}
 	}
+	return nil
+}
+
+// runItem runs one stage body on one item, converting a recoverable
+// fault-class panic — the rank's own injected fail-stop from the
+// charge path, or a poisoned-collective abort after a peer died — into
+// the stage's error. This is what keeps the overlapped schedule's
+// queue protocol in lockstep through a failure: the error rides the
+// tokens downstream, every queue drains, and the forked streams join,
+// so Execute returns the failure cleanly on both backends instead of
+// leaking parked stream tasks (which the DES scheduler would diagnose
+// as a deadlock). Bug-class panics still crash.
+func runItem(st Stage, r *cluster.Rank, i int, in any) (v any, err error) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			return
+		}
+		if e, ok := p.(error); ok && errors.Is(e, cluster.ErrRankFailed) {
+			err = e
+			return
+		}
+		panic(p)
+	}()
+	return st.Run(r, i, in)
+}
+
+// waitUntil advances r's clock to t, converting a fault-class panic —
+// the stream crossing its rank's injected fail-stop time during the
+// stall — into an error, for the same lockstep reason as runItem: a
+// stall is the other place runStage advances a clock.
+func waitUntil(r *cluster.Rank, t float64) (err error) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			return
+		}
+		if e, ok := p.(error); ok && errors.Is(e, cluster.ErrRankFailed) {
+			err = e
+			return
+		}
+		panic(p)
+	}()
+	r.WaitUntil(t)
 	return nil
 }
 
@@ -205,7 +250,9 @@ func (p *Pipeline) runStage(r *cluster.Rank, s, n int,
 			// that arrives earlier stalls until it is ready.
 			if failed == nil && tok.done > r.Clock() {
 				r.SetPhase(PhaseStall)
-				r.WaitUntil(tok.done)
+				if err := waitUntil(r, tok.done); err != nil {
+					failed = err
+				}
 			}
 			// Dequeuing frees the slot at our (post-stall) now.
 			inCred.Send(r, r.Clock())
@@ -216,11 +263,13 @@ func (p *Pipeline) runStage(r *cluster.Rank, s, n int,
 			t := outCred.Recv(r).(float64)
 			if failed == nil && t > r.Clock() {
 				r.SetPhase(PhaseStall)
-				r.WaitUntil(t)
+				if err := waitUntil(r, t); err != nil {
+					failed = err
+				}
 			}
 		}
 		if failed == nil {
-			v, err := p.Stages[s].Run(r, i, val)
+			v, err := runItem(p.Stages[s], r, i, val)
 			if err != nil {
 				failed = err
 			} else {

@@ -54,3 +54,13 @@ func (m *Model) SetDropout(rate float64, seed int64) {
 // NextDropoutSeed advances the mask stream — call once per training
 // step so successive minibatches see fresh masks.
 func (m *Model) NextDropoutSeed() { m.dropSeed++ }
+
+// DropoutSeed returns the current mask-stream position. Together with
+// SetDropoutSeed it lets a checkpoint capture and restore the RNG
+// stream state, so a restored run draws exactly the masks an
+// uninterrupted run would have drawn.
+func (m *Model) DropoutSeed() int64 { return m.dropSeed }
+
+// SetDropoutSeed rewinds or fast-forwards the mask stream to an
+// absolute position (a value previously read via DropoutSeed).
+func (m *Model) SetDropoutSeed(seed int64) { m.dropSeed = seed }

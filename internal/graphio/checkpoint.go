@@ -1,0 +1,368 @@
+package graphio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/cluster"
+)
+
+// Checkpoint is the complete resumable training state captured at an
+// epoch boundary: everything a restarted run needs to continue
+// bit-identically to an uninterrupted one. Params / optimizer moments /
+// DropSeed come from rank 0 (the state is replicated, so one copy
+// suffices); Ranks holds the per-rank simulated-time accounting
+// snapshots (clocks, phase accumulators, traffic counters) that let the
+// restored run's simulated timeline continue the exact float-addition
+// sequences of the original.
+type Checkpoint struct {
+	// Epoch is the number of completed epochs (the restart resumes at
+	// epoch index Epoch).
+	Epoch int
+	// DropSeed is the dropout mask-stream position (RNG stream state).
+	DropSeed int64
+	// Params is the flat model parameter vector.
+	Params []float64
+	// OptT / OptM / OptV are the Adam step count and moment vectors
+	// (nil moments = optimizer not yet stepped).
+	OptT int
+	OptM []float64
+	OptV []float64
+	// Ranks holds one accounting snapshot per rank, in rank order.
+	Ranks []cluster.RankSnapshot
+}
+
+// ckptMagic distinguishes resumable-state checkpoints from the
+// params-only "GNNCK1\n" files; ckptVersion gates layout skew.
+var ckptMagic = []byte("GNNRS1\n")
+
+const ckptVersion = 1
+
+// WriteCheckpoint serializes a resumable training checkpoint. The
+// encoding is deterministic (map keys are sorted), so identical states
+// produce identical bytes.
+func WriteCheckpoint(w io.Writer, ck *Checkpoint) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(ckptMagic); err != nil {
+		return err
+	}
+	if err := writeInts(bw, ckptVersion, int64(ck.Epoch), ck.DropSeed, int64(ck.OptT)); err != nil {
+		return err
+	}
+	for _, fs := range [][]float64{ck.Params, ck.OptM, ck.OptV} {
+		if err := writeFloatSlice(bw, fs); err != nil {
+			return err
+		}
+	}
+	if err := writeInts(bw, int64(len(ck.Ranks))); err != nil {
+		return err
+	}
+	for i := range ck.Ranks {
+		if err := writeRankSnapshot(bw, &ck.Ranks[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCheckpoint loads a checkpoint written by WriteCheckpoint. Any
+// truncation, corruption or version skew yields an error — never a
+// panic, and never an allocation larger than the input's real size
+// (fuzz-pinned, like the other graphio readers).
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head := make([]byte, len(ckptMagic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, err
+	}
+	if string(head) != string(ckptMagic) {
+		return nil, fmt.Errorf("graphio: bad resumable-checkpoint magic %q", head)
+	}
+	hdr, err := readInts(br, 4)
+	if err != nil {
+		return nil, err
+	}
+	if hdr[0] != ckptVersion {
+		return nil, fmt.Errorf("graphio: unsupported checkpoint version %d (want %d)", hdr[0], ckptVersion)
+	}
+	if hdr[1] < 0 || hdr[1] > maxWireElems {
+		return nil, fmt.Errorf("graphio: implausible checkpoint epoch %d", hdr[1])
+	}
+	if hdr[3] < 0 || hdr[3] > maxWireElems {
+		return nil, fmt.Errorf("graphio: implausible optimizer step count %d", hdr[3])
+	}
+	ck := &Checkpoint{Epoch: int(hdr[1]), DropSeed: hdr[2], OptT: int(hdr[3])}
+	if ck.Params, err = readFloatSlice(br); err != nil {
+		return nil, err
+	}
+	if ck.OptM, err = readFloatSlice(br); err != nil {
+		return nil, err
+	}
+	if ck.OptV, err = readFloatSlice(br); err != nil {
+		return nil, err
+	}
+	n, err := readInts(br, 1)
+	if err != nil {
+		return nil, err
+	}
+	// Rank counts are tiny in practice; 1<<20 is far above any p while
+	// keeping a lying header's snapshot loop bounded.
+	if n[0] < 0 || n[0] > 1<<20 {
+		return nil, fmt.Errorf("graphio: implausible rank count %d", n[0])
+	}
+	ck.Ranks = make([]cluster.RankSnapshot, 0, capHint(int(n[0])))
+	for i := int64(0); i < n[0]; i++ {
+		snap, err := readRankSnapshot(br)
+		if err != nil {
+			return nil, err
+		}
+		ck.Ranks = append(ck.Ranks, snap)
+	}
+	return ck, nil
+}
+
+func writeRankSnapshot(w io.Writer, snap *cluster.RankSnapshot) error {
+	if err := writeInts(w, int64(len(snap.Phases))); err != nil {
+		return err
+	}
+	for _, name := range snap.Phases {
+		if err := writeString(w, name); err != nil {
+			return err
+		}
+	}
+	if err := writeInts(w, snap.BytesSent); err != nil {
+		return err
+	}
+	for _, m := range []map[string]int64{snap.OpCount, snap.OpBytes} {
+		if err := writeInts(w, int64(len(m))); err != nil {
+			return err
+		}
+		for _, k := range sortedKeys(m) {
+			if err := writeString(w, k); err != nil {
+				return err
+			}
+			if err := writeInts(w, m[k]); err != nil {
+				return err
+			}
+		}
+	}
+	if err := writeInts(w, int64(len(snap.LinkBytes))); err != nil {
+		return err
+	}
+	lk := make([]string, 0, len(snap.LinkBytes))
+	for k := range snap.LinkBytes {
+		lk = append(lk, k)
+	}
+	sort.Strings(lk)
+	for _, k := range lk {
+		if err := writeString(w, k); err != nil {
+			return err
+		}
+		v := snap.LinkBytes[k]
+		if err := writeInts(w, v[0], v[1], v[2]); err != nil {
+			return err
+		}
+	}
+	if err := writeStreamSnapshot(w, &snap.Main); err != nil {
+		return err
+	}
+	if err := writeInts(w, int64(len(snap.Streams))); err != nil {
+		return err
+	}
+	for i := range snap.Streams {
+		if err := writeStreamSnapshot(w, &snap.Streams[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readRankSnapshot(r io.Reader) (cluster.RankSnapshot, error) {
+	var snap cluster.RankSnapshot
+	n, err := readInts(r, 1)
+	if err != nil {
+		return snap, err
+	}
+	if n[0] < 0 || n[0] > maxWireElems {
+		return snap, fmt.Errorf("graphio: implausible phase count %d", n[0])
+	}
+	snap.Phases = make([]string, 0, capHint(int(n[0])))
+	for i := int64(0); i < n[0]; i++ {
+		name, err := readString(r)
+		if err != nil {
+			return snap, err
+		}
+		snap.Phases = append(snap.Phases, name)
+	}
+	bs, err := readInts(r, 1)
+	if err != nil {
+		return snap, err
+	}
+	snap.BytesSent = bs[0]
+	for _, dst := range []*map[string]int64{&snap.OpCount, &snap.OpBytes} {
+		cnt, err := readInts(r, 1)
+		if err != nil {
+			return snap, err
+		}
+		if cnt[0] < 0 || cnt[0] > maxWireElems {
+			return snap, fmt.Errorf("graphio: implausible map size %d", cnt[0])
+		}
+		m := make(map[string]int64, capHint(int(cnt[0])))
+		for i := int64(0); i < cnt[0]; i++ {
+			k, err := readString(r)
+			if err != nil {
+				return snap, err
+			}
+			v, err := readInts(r, 1)
+			if err != nil {
+				return snap, err
+			}
+			m[k] = v[0]
+		}
+		*dst = m
+	}
+	cnt, err := readInts(r, 1)
+	if err != nil {
+		return snap, err
+	}
+	if cnt[0] < 0 || cnt[0] > maxWireElems {
+		return snap, fmt.Errorf("graphio: implausible map size %d", cnt[0])
+	}
+	snap.LinkBytes = make(map[string][3]int64, capHint(int(cnt[0])))
+	for i := int64(0); i < cnt[0]; i++ {
+		k, err := readString(r)
+		if err != nil {
+			return snap, err
+		}
+		v, err := readInts(r, 3)
+		if err != nil {
+			return snap, err
+		}
+		snap.LinkBytes[k] = [3]int64{v[0], v[1], v[2]}
+	}
+	if snap.Main, err = readStreamSnapshot(r); err != nil {
+		return snap, err
+	}
+	cnt, err = readInts(r, 1)
+	if err != nil {
+		return snap, err
+	}
+	if cnt[0] < 0 || cnt[0] > maxWireElems {
+		return snap, fmt.Errorf("graphio: implausible stream count %d", cnt[0])
+	}
+	snap.Streams = make([]cluster.StreamSnapshot, 0, capHint(int(cnt[0])))
+	for i := int64(0); i < cnt[0]; i++ {
+		ss, err := readStreamSnapshot(r)
+		if err != nil {
+			return snap, err
+		}
+		snap.Streams = append(snap.Streams, ss)
+	}
+	return snap, nil
+}
+
+func writeStreamSnapshot(w io.Writer, ss *cluster.StreamSnapshot) error {
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint64(buf, math.Float64bits(ss.Clock))
+	if _, err := w.Write(buf); err != nil {
+		return err
+	}
+	if err := writeFloatSlice(w, ss.PhaseTotal); err != nil {
+		return err
+	}
+	if err := writeFloatSlice(w, ss.PhaseComm); err != nil {
+		return err
+	}
+	if err := writeInts(w, int64(len(ss.PhaseTouched))); err != nil {
+		return err
+	}
+	b := make([]byte, 1)
+	for _, t := range ss.PhaseTouched {
+		b[0] = 0
+		if t {
+			b[0] = 1
+		}
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readStreamSnapshot(r io.Reader) (cluster.StreamSnapshot, error) {
+	var ss cluster.StreamSnapshot
+	buf := make([]byte, 8)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return ss, err
+	}
+	ss.Clock = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+	var err error
+	if ss.PhaseTotal, err = readFloatSlice(r); err != nil {
+		return ss, err
+	}
+	if ss.PhaseComm, err = readFloatSlice(r); err != nil {
+		return ss, err
+	}
+	n, err := readInts(r, 1)
+	if err != nil {
+		return ss, err
+	}
+	if n[0] < 0 || n[0] > maxWireElems {
+		return ss, fmt.Errorf("graphio: implausible touched-slot count %d", n[0])
+	}
+	ss.PhaseTouched = make([]bool, 0, capHint(int(n[0])))
+	b := make([]byte, 1)
+	for i := int64(0); i < n[0]; i++ {
+		if _, err := io.ReadFull(r, b); err != nil {
+			return ss, err
+		}
+		ss.PhaseTouched = append(ss.PhaseTouched, b[0] != 0)
+	}
+	return ss, nil
+}
+
+func writeFloatSlice(w io.Writer, s []float64) error {
+	if err := writeInts(w, int64(len(s))); err != nil {
+		return err
+	}
+	buf := make([]byte, 8)
+	for _, v := range s {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readFloatSlice(r io.Reader) ([]float64, error) {
+	n, err := readInts(r, 1)
+	if err != nil {
+		return nil, err
+	}
+	if n[0] < 0 || n[0] > maxWireElems {
+		return nil, fmt.Errorf("graphio: implausible float-slice length %d", n[0])
+	}
+	out := make([]float64, 0, capHint(int(n[0])))
+	buf := make([]byte, 8)
+	for i := int64(0); i < n[0]; i++ {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		out = append(out, math.Float64frombits(binary.LittleEndian.Uint64(buf)))
+	}
+	return out, nil
+}
+
+func sortedKeys(m map[string]int64) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

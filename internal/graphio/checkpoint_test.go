@@ -1,0 +1,216 @@
+package graphio
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// randCheckpoint builds a structurally rich checkpoint from a seeded
+// stream: multiple ranks, ghost streams, phase maps with several keys,
+// negative and special-valued floats.
+func randCheckpoint(seed int64) *Checkpoint {
+	rng := rand.New(rand.NewSource(seed))
+	floats := func(n int) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(9)-4))
+		}
+		return out
+	}
+	phases := []string{"sampling", "feature-fetch", "propagation", "stall", "checkpoint"}
+	stream := func() cluster.StreamSnapshot {
+		n := 1 + rng.Intn(len(phases))
+		touched := make([]bool, n)
+		for i := range touched {
+			touched[i] = rng.Intn(2) == 0
+		}
+		return cluster.StreamSnapshot{
+			Clock:        rng.Float64() * 100,
+			PhaseTotal:   floats(n),
+			PhaseComm:    floats(n),
+			PhaseTouched: touched,
+		}
+	}
+	p := 1 + rng.Intn(4)
+	ck := &Checkpoint{
+		Epoch:    rng.Intn(10),
+		DropSeed: rng.Int63(),
+		Params:   floats(16 + rng.Intn(64)),
+		OptT:     rng.Intn(100),
+	}
+	ck.OptM = floats(len(ck.Params))
+	ck.OptV = floats(len(ck.Params))
+	for i := 0; i < p; i++ {
+		snap := cluster.RankSnapshot{
+			Phases:    phases[:1+rng.Intn(len(phases))],
+			BytesSent: rng.Int63n(1 << 40),
+			OpCount:   map[string]int64{"allreduce": rng.Int63n(1000), "alltoallv": rng.Int63n(1000)},
+			OpBytes:   map[string]int64{"allreduce": rng.Int63n(1 << 30)},
+			LinkBytes: map[string][3]int64{
+				"sampling": {rng.Int63n(1 << 20), rng.Int63n(1 << 20), rng.Int63n(1 << 20)},
+				"stall":    {0, 1, 2},
+			},
+			Main: stream(),
+		}
+		for s := rng.Intn(3); s > 0; s-- {
+			snap.Streams = append(snap.Streams, stream())
+		}
+		ck.Ranks = append(ck.Ranks, snap)
+	}
+	return ck
+}
+
+// encode serializes a checkpoint or fails the test.
+func encodeCkpt(t *testing.T, ck *Checkpoint) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, ck); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCheckpointRoundTrip is the property test: across seeded random
+// checkpoints, write→read must reproduce every field (bitwise on
+// floats) and re-encoding must be byte-identical (the encoding is
+// deterministic: sorted map keys).
+func TestCheckpointRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		ck := randCheckpoint(seed)
+		data := encodeCkpt(t, ck)
+		got, err := ReadCheckpoint(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got.Epoch != ck.Epoch || got.DropSeed != ck.DropSeed || got.OptT != ck.OptT {
+			t.Fatalf("seed %d: header fields changed: %+v vs %+v", seed, got, ck)
+		}
+		for name, pair := range map[string][2][]float64{
+			"Params": {got.Params, ck.Params},
+			"OptM":   {got.OptM, ck.OptM},
+			"OptV":   {got.OptV, ck.OptV},
+		} {
+			if len(pair[0]) != len(pair[1]) {
+				t.Fatalf("seed %d: %s length %d != %d", seed, name, len(pair[0]), len(pair[1]))
+			}
+			for i := range pair[0] {
+				if math.Float64bits(pair[0][i]) != math.Float64bits(pair[1][i]) {
+					t.Fatalf("seed %d: %s[%d] changed", seed, name, i)
+				}
+			}
+		}
+		if len(got.Ranks) != len(ck.Ranks) {
+			t.Fatalf("seed %d: rank count %d != %d", seed, len(got.Ranks), len(ck.Ranks))
+		}
+		for i := range got.Ranks {
+			if !reflect.DeepEqual(got.Ranks[i].Phases, ck.Ranks[i].Phases) ||
+				got.Ranks[i].BytesSent != ck.Ranks[i].BytesSent ||
+				!reflect.DeepEqual(got.Ranks[i].OpCount, ck.Ranks[i].OpCount) ||
+				!reflect.DeepEqual(got.Ranks[i].OpBytes, ck.Ranks[i].OpBytes) ||
+				!reflect.DeepEqual(got.Ranks[i].LinkBytes, ck.Ranks[i].LinkBytes) {
+				t.Fatalf("seed %d: rank %d metadata changed", seed, i)
+			}
+		}
+		if again := encodeCkpt(t, got); !bytes.Equal(again, data) {
+			t.Fatalf("seed %d: re-encoding is not byte-identical", seed)
+		}
+	}
+}
+
+// TestCheckpointSpecialFloats pins bitwise float transport: NaN
+// payloads, infinities and negative zero survive exactly.
+func TestCheckpointSpecialFloats(t *testing.T) {
+	specials := []float64{
+		math.NaN(), math.Inf(1), math.Inf(-1),
+		math.Copysign(0, -1), math.SmallestNonzeroFloat64, -math.MaxFloat64,
+	}
+	ck := &Checkpoint{Params: specials, OptM: specials, OptV: specials}
+	got, err := ReadCheckpoint(bytes.NewReader(encodeCkpt(t, ck)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range specials {
+		if math.Float64bits(got.Params[i]) != math.Float64bits(v) {
+			t.Fatalf("special float %v changed to %v", v, got.Params[i])
+		}
+	}
+}
+
+// TestCheckpointTruncation: every strict prefix of a valid checkpoint
+// must produce an error — cleanly, never a panic.
+func TestCheckpointTruncation(t *testing.T) {
+	data := encodeCkpt(t, randCheckpoint(7))
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := ReadCheckpoint(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("truncation at %d/%d bytes was accepted", cut, len(data))
+		}
+	}
+}
+
+// TestCheckpointCorruption: magic and version skew error cleanly with
+// identifiable messages.
+func TestCheckpointCorruption(t *testing.T) {
+	data := encodeCkpt(t, randCheckpoint(11))
+
+	bad := append([]byte(nil), data...)
+	bad[0] ^= 0xff
+	if _, err := ReadCheckpoint(bytes.NewReader(bad)); err == nil {
+		t.Fatal("corrupt magic accepted")
+	}
+
+	// Version field is the first int64 after the 7-byte magic.
+	skewed := append([]byte(nil), data...)
+	skewed[7] = 0x7f
+	if _, err := ReadCheckpoint(bytes.NewReader(skewed)); err == nil {
+		t.Fatal("version skew accepted")
+	}
+
+	// A params-only checkpoint ("GNNCK1\n") is a different format and
+	// must be rejected by magic, not misparsed.
+	var pbuf bytes.Buffer
+	if err := WriteParams(&pbuf, []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCheckpoint(bytes.NewReader(pbuf.Bytes())); err == nil {
+		t.Fatal("params-only file accepted as resumable checkpoint")
+	}
+}
+
+// TestCheckpointHostileLengths: lying length headers must error before
+// allocating anything input-length-independent.
+func TestCheckpointHostileLengths(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(ckptMagic)
+	_ = writeInts(&buf, ckptVersion, 0, 0, 0)
+	_ = writeInts(&buf, int64(1)<<40) // params length far beyond the payload
+	if _, err := ReadCheckpoint(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("absurd params length accepted")
+	}
+
+	buf.Reset()
+	buf.Write(ckptMagic)
+	_ = writeInts(&buf, ckptVersion, 0, 0, 0)
+	for i := 0; i < 3; i++ {
+		_ = writeInts(&buf, 0) // empty params/optM/optV
+	}
+	_ = writeInts(&buf, int64(1)<<30) // absurd rank count
+	if _, err := ReadCheckpoint(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("absurd rank count accepted")
+	}
+
+	// A plausible-looking small claim followed by EOF must be an error,
+	// not a partial value.
+	buf.Reset()
+	buf.Write(ckptMagic)
+	_ = writeInts(&buf, ckptVersion, 0, 0, 0)
+	_ = writeInts(&buf, 8) // claims 8 params, provides none
+	if _, err := ReadCheckpoint(bytes.NewReader(buf.Bytes())); err != io.ErrUnexpectedEOF && err != io.EOF {
+		t.Fatalf("short params payload: got %v, want unexpected EOF", err)
+	}
+}

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/cache"
@@ -11,6 +12,8 @@ import (
 	"repro/internal/distsample"
 	"repro/internal/engine"
 	"repro/internal/gnn"
+	"repro/internal/graphio"
+	"repro/internal/resilience"
 )
 
 // Phase names for the Figure 4 breakdown.
@@ -116,6 +119,25 @@ type Config struct {
 	// (sampled evaluation on the dataset's Val split).
 	TrackVal bool
 
+	// Faults is the fail-stop injection plan (merged into Model.Faults;
+	// an explicit Model.Faults wins only when this is nil). When a
+	// planned failure fires, the run aborts at the failed rank's
+	// simulated fail time, the driver retires the fired entry, restores
+	// the latest epoch-boundary checkpoint (or restarts from scratch if
+	// CkptInterval is 0) and re-runs — so training always completes,
+	// and Result.Recovery reports what the recovery cost.
+	Faults *cluster.FaultPlan
+	// CkptInterval checkpoints the complete resumable state — model
+	// parameters, Adam moments, dropout stream position, and every
+	// rank's simulated-time accounting snapshot — every CkptInterval
+	// completed epochs (0 disables). Each rank charges the checkpoint's
+	// serialized bytes over HostLink at each boundary, so checkpointing
+	// costs simulated time whether or not a failure ever fires. With
+	// Topology == nil and CachePolicy == None, a failed-and-restored
+	// run's Result is bit-identical to an unfailed run with the same
+	// interval (the differential crash-recovery suite pins this).
+	CkptInterval int
+
 	Seed  int64
 	Model cluster.CostModel
 }
@@ -156,6 +178,9 @@ func (c Config) withDefaults(d *datasets.Dataset) Config {
 	}
 	if c.Backend != cluster.DefaultBackend {
 		c.Model.Backend = c.Backend
+	}
+	if c.Faults != nil {
+		c.Model.Faults = c.Faults
 	}
 	return c
 }
@@ -207,6 +232,11 @@ type Result struct {
 	// inflation here so memory-budgeted callers (the autotuner picked
 	// K to fit) can see it.
 	EffectiveK int
+	// Recovery reports the restart bookkeeping when fault injection or
+	// checkpointing was configured (nil otherwise): attempts, fired
+	// failures, wasted simulated work. Diagnostic only — the
+	// differential suite excludes it from bit-identity comparison.
+	Recovery *resilience.Stats
 }
 
 // LastEpoch returns the final epoch's stats, or a zero EpochStats for
@@ -321,16 +351,11 @@ func Run(d *datasets.Dataset, cfg Config) (*Result, error) {
 	if err := cfg.Model.Topology.Validate(); err != nil {
 		return nil, fmt.Errorf("pipeline: %w", err)
 	}
-	cl := cluster.New(cfg.P, cfg.Model)
-	grid := cluster.NewGrid(cl, cfg.P, cfg.C)
-	stores := NewFeatureStores(grid, d.Features)
-
-	var parts []*distsample.Partitioned
-	if cfg.Algorithm == GraphPartitioned {
-		if grid.Rows%grid.C != 0 {
-			return nil, fmt.Errorf("pipeline: partitioned algorithm needs c^2 | p (p=%d c=%d)", cfg.P, cfg.C)
-		}
-		parts = distsample.NewPartitionedSet(grid, d.Graph.Adj, cfg.SparsityAware)
+	if err := cfg.Model.Faults.Validate(cfg.P); err != nil {
+		return nil, fmt.Errorf("pipeline: %w", err)
+	}
+	if cfg.CkptInterval < 0 {
+		return nil, fmt.Errorf("pipeline: negative checkpoint interval %d", cfg.CkptInterval)
 	}
 
 	batches := d.Batches()
@@ -338,11 +363,6 @@ func Run(d *datasets.Dataset, cfg Config) (*Result, error) {
 	if cfg.MaxBatches > 0 && cfg.MaxBatches < totalBatches {
 		batches = batches[:cfg.MaxBatches]
 	}
-	sched := makeSchedule(cfg, grid, len(batches))
-	// Extrapolation for MaxBatches truncation is per sampling block
-	// (rank or grid row), not global: phase times are maxima across
-	// ranks, so they scale with the largest per-block share.
-	scale := BlockScale(totalBatches, len(batches), sched.samplingBlocks)
 
 	layerwise := cfg.Sampler == "ladies" || cfg.Sampler == "fastgcn"
 	fanouts := d.Fanouts
@@ -370,7 +390,6 @@ func Run(d *datasets.Dataset, cfg Config) (*Result, error) {
 	if cfg.TrackVal {
 		epochParams = make([][]float64, cfg.Epochs)
 	}
-	world := grid.World()
 
 	// Replicated-state dedup: data-parallel ranks hold bit-identical
 	// parameters and optimizer state at every step, so the simulator
@@ -382,190 +401,309 @@ func Run(d *datasets.Dataset, cfg Config) (*Result, error) {
 	// rank is synchronized in the collective. This removes the
 	// dominant O(p·params) host-side cost per step — the simulated
 	// times and training outcome are unchanged.
-	model := gnn.NewModel(gnn.Config{
-		In:      d.Features.Cols,
-		Hidden:  cfg.Hidden,
-		Classes: d.NumClasses,
-		Layers:  cfg.Layers,
-		Agg:     cfg.Agg,
-		Seed:    cfg.Seed,
-	})
-	if cfg.Dropout > 0 {
-		model.SetDropout(cfg.Dropout, cfg.Seed)
+	newModel := func() *gnn.Model {
+		m := gnn.NewModel(gnn.Config{
+			In:      d.Features.Cols,
+			Hidden:  cfg.Hidden,
+			Classes: d.NumClasses,
+			Layers:  cfg.Layers,
+			Agg:     cfg.Agg,
+			Seed:    cfg.Seed,
+		})
+		if cfg.Dropout > 0 {
+			m.SetDropout(cfg.Dropout, cfg.Seed)
+		}
+		return m
 	}
+	model := newModel()
 	opt := dense.NewAdam(cfg.LR)
 	// Shared all-zero gradient vector contributed by iterations without
 	// a real batch; the collective never mutates members' inputs.
 	zeroGrads := make([]float64, model.NumParams())
 
-	res, err := cl.Run(func(r *cluster.Rank) error {
-		store := stores[r.ID]
-		lossSums[r.ID] = make([]float64, cfg.Epochs)
-		lossCounts[r.ID] = make([]int, cfg.Epochs)
-		var featCache cache.Cache
-		if cfg.CachePolicy != cache.None && cfg.CacheFrac > 0 {
-			capacity := int(cfg.CacheFrac * float64(d.Graph.NumVertices()))
-			featCache = cache.New(cfg.CachePolicy, capacity, d.Graph.Degrees())
-		}
+	// Epoch-boundary checkpointing: the collector assembles each
+	// boundary's checkpoint from per-rank contributions and publishes it
+	// in serialized form; every restore decodes it afresh (graphio codec
+	// on both sides of every recovery).
+	var col *resilience.Collector
+	if cfg.CkptInterval > 0 {
+		col = resilience.NewCollector(cfg.P)
+	}
+	ckptBytes := resilience.CheckpointBytes(model.NumParams())
 
-		var local [][]int
-		trainOffset := 0
+	// attempt runs the cluster once from startEpoch, optionally seeded
+	// with a restored checkpoint. The cluster, grid, stores and
+	// partitioned-sampling state are rebuilt per attempt: a failed run
+	// leaves poisoned rendezvous and mid-flight arena state behind, and
+	// rebuilding them is both deterministic and what a real restart does.
+	var sched schedule
+	var scale float64
+	attempt := func(plan *cluster.FaultPlan, startEpoch int, ck *graphio.Checkpoint) (*cluster.Result, error) {
+		m := cfg.Model
+		m.Faults = plan
+		cl := cluster.New(cfg.P, m)
+		grid := cluster.NewGrid(cl, cfg.P, cfg.C)
+		stores := NewFeatureStores(grid, d.Features)
+		var parts []*distsample.Partitioned
 		if cfg.Algorithm == GraphPartitioned {
-			local = distsample.LocalBatches(grid, r.ID, batches)
-			trainOffset = grid.ColIndex(r.ID)
-		} else {
-			local = distsample.ReplicatedBatches(cfg.P, r.ID, batches)
+			if grid.Rows%grid.C != 0 {
+				return nil, fmt.Errorf("pipeline: partitioned algorithm needs c^2 | p (p=%d c=%d)", cfg.P, cfg.C)
+			}
+			parts = distsample.NewPartitionedSet(grid, d.Graph.Adj, cfg.SparsityAware)
 		}
-		sampler := newSampler(cfg.Sampler)
-		// Communicators each stage drives: in overlapped mode the
-		// engine gives every collective-bearing stage its own stream,
-		// and the stage bodies reach the matching communicator clones
-		// with ForStream (stream-safe collectives).
-		fetchComms := []*cluster.Comm{grid.ColComm(r.ID)}
-		var sampComms []*cluster.Comm
-		if cfg.Algorithm == GraphPartitioned {
-			sampComms = []*cluster.Comm{grid.ColComm(r.ID), grid.RowComm(r.ID)}
-		}
+		sched = makeSchedule(cfg, grid, len(batches))
+		// Extrapolation for MaxBatches truncation is per sampling block
+		// (rank or grid row), not global: phase times are maxima across
+		// ranks, so they scale with the largest per-block share.
+		scale = BlockScale(totalBatches, len(batches), sched.samplingBlocks)
+		world := grid.World()
 
-		for epoch := 0; epoch < cfg.Epochs; epoch++ {
-			epochSeed := cfg.Seed + int64(epoch)*7919
-			lossSum, lossN := 0.0, 0
+		return cl.Run(func(r *cluster.Rank) error {
+			if ck != nil {
+				r.Restore(ck.Ranks[r.ID])
+			}
+			store := stores[r.ID]
+			if lossSums[r.ID] == nil {
+				lossSums[r.ID] = make([]float64, cfg.Epochs)
+				lossCounts[r.ID] = make([]int, cfg.Epochs)
+			}
+			var featCache cache.Cache
+			if cfg.CachePolicy != cache.None && cfg.CacheFrac > 0 {
+				capacity := int(cfg.CacheFrac * float64(d.Graph.NumVertices()))
+				featCache = cache.New(cfg.CachePolicy, capacity, d.Graph.Degrees())
+			}
 
-			// Stage state: the sampling stage owns the current bulk
-			// (and, in overlapped mode, the next one in flight — the
-			// double buffer realized by its output queue).
-			var bulk *core.BulkSample
-			var chunk [][]int
+			var local [][]int
+			trainOffset := 0
+			if cfg.Algorithm == GraphPartitioned {
+				local = distsample.LocalBatches(grid, r.ID, batches)
+				trainOffset = grid.ColIndex(r.ID)
+			} else {
+				local = distsample.ReplicatedBatches(cfg.P, r.ID, batches)
+			}
+			sampler := newSampler(cfg.Sampler)
+			// Communicators each stage drives: in overlapped mode the
+			// engine gives every collective-bearing stage its own stream,
+			// and the stage bodies reach the matching communicator clones
+			// with ForStream (stream-safe collectives).
+			fetchComms := []*cluster.Comm{grid.ColComm(r.ID)}
+			var sampComms []*cluster.Comm
+			if cfg.Algorithm == GraphPartitioned {
+				sampComms = []*cluster.Comm{grid.ColComm(r.ID), grid.RowComm(r.ID)}
+			}
 
-			pipe := &engine.Pipeline{
-				Overlap: cfg.Overlap,
-				Stages: []engine.Stage{
-					// 1) Sampling (Figure 3 left): one bulk call per
-					// round, emitted one extracted minibatch at a
-					// time. Every rank calls the same sampler the
-					// same number of times; empty chunks still join
-					// the partitioned collectives.
-					{
-						Name: PhaseSampling,
-						// One full round of minibatches buffers
-						// downstream while the next round's bulk is
-						// sampled: the double-buffered BulkSample
-						// handoff.
-						Queue: sched.trainPerRound,
-						Comms: sampComms,
-						Run: func(rs *cluster.Rank, idx int, _ any) (any, error) {
-							round, t := idx/sched.trainPerRound, idx%sched.trainPerRound
-							if t == 0 {
-								lo := round * sched.sampPerRound
-								hi := lo + sched.sampPerRound
-								if lo > len(local) {
-									lo = len(local)
-								}
-								if hi > len(local) {
-									hi = len(local)
-								}
-								chunk = local[lo:hi]
-								rs.SetPhase(PhaseSampling)
-								rs.PushPhase(PhaseSampling) // nested level for the driver's sub-phases
-								if cfg.Algorithm == GraphPartitioned {
-									switch cfg.Sampler {
-									case "ladies":
-										bulk = distsample.SampleLADIESPartitioned(rs, parts[rs.ID], chunk, d.LayerWidth, cfg.Layers, epochSeed)
-									case "fastgcn":
-										bulk = distsample.SampleFastGCNPartitioned(rs, parts[rs.ID], chunk, d.LayerWidth, cfg.Layers, epochSeed)
-									default:
-										bulk = distsample.SampleSAGEPartitioned(rs, parts[rs.ID], chunk, fanouts, epochSeed)
+			for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
+				epochSeed := cfg.Seed + int64(epoch)*7919
+				lossSum, lossN := 0.0, 0
+
+				// Stage state: the sampling stage owns the current bulk
+				// (and, in overlapped mode, the next one in flight — the
+				// double buffer realized by its output queue).
+				var bulk *core.BulkSample
+				var chunk [][]int
+
+				pipe := &engine.Pipeline{
+					Overlap: cfg.Overlap,
+					Stages: []engine.Stage{
+						// 1) Sampling (Figure 3 left): one bulk call per
+						// round, emitted one extracted minibatch at a
+						// time. Every rank calls the same sampler the
+						// same number of times; empty chunks still join
+						// the partitioned collectives.
+						{
+							Name: PhaseSampling,
+							// One full round of minibatches buffers
+							// downstream while the next round's bulk is
+							// sampled: the double-buffered BulkSample
+							// handoff.
+							Queue: sched.trainPerRound,
+							Comms: sampComms,
+							Run: func(rs *cluster.Rank, idx int, _ any) (any, error) {
+								round, t := idx/sched.trainPerRound, idx%sched.trainPerRound
+								if t == 0 {
+									lo := round * sched.sampPerRound
+									hi := lo + sched.sampPerRound
+									if lo > len(local) {
+										lo = len(local)
 									}
-								} else {
-									bulk = distsample.SampleReplicated(rs, sampler, d.Graph.Adj, chunk, fanouts, epochSeed)
+									if hi > len(local) {
+										hi = len(local)
+									}
+									chunk = local[lo:hi]
+									rs.SetPhase(PhaseSampling)
+									rs.PushPhase(PhaseSampling) // nested level for the driver's sub-phases
+									if cfg.Algorithm == GraphPartitioned {
+										switch cfg.Sampler {
+										case "ladies":
+											bulk = distsample.SampleLADIESPartitioned(rs, parts[rs.ID], chunk, d.LayerWidth, cfg.Layers, epochSeed)
+										case "fastgcn":
+											bulk = distsample.SampleFastGCNPartitioned(rs, parts[rs.ID], chunk, d.LayerWidth, cfg.Layers, epochSeed)
+										default:
+											bulk = distsample.SampleSAGEPartitioned(rs, parts[rs.ID], chunk, fanouts, epochSeed)
+										}
+									} else {
+										bulk = distsample.SampleReplicated(rs, sampler, d.Graph.Adj, chunk, fanouts, epochSeed)
+									}
+									rs.PopPhase()
 								}
-								rs.PopPhase()
-							}
-							bi := t*sched.trainStride + trainOffset
-							var it fetchItem
-							if bi < len(chunk) {
-								it.bg = bulk.ExtractBatch(bi)
-								it.verts = it.bg.InputVertices()
-							}
-							return it, nil
-						},
-					},
-					// 2) Feature fetch: all-to-allv over the process
-					// column; iterations without a real batch join
-					// with empty requests.
-					{
-						Name:  PhaseFeatureFetch,
-						Queue: 1,
-						Comms: fetchComms,
-						Run: func(rf *cluster.Rank, idx int, in any) (any, error) {
-							it := in.(fetchItem)
-							rf.SetPhase(PhaseFeatureFetch)
-							feats := store.FetchCached(rf, it.verts, featCache)
-							return trainItem{bg: it.bg, feats: feats}, nil
-						},
-					},
-					// 3) Propagation with data-parallel gradient
-					// all-reduce, on the rank's main timeline;
-					// iterations without a real batch contribute
-					// zero gradients.
-					{
-						Name:  PhasePropagation,
-						Comms: []*cluster.Comm{world},
-						Run: func(rm *cluster.Rank, idx int, in any) (any, error) {
-							ti := in.(trainItem)
-							rm.SetPhase(PhasePropagation)
-							grads := zeroGrads
-							if ti.bg != nil {
-								act, fwdFlops := model.Forward(ti.bg, ti.feats)
-								labels := make([]int, len(ti.bg.Seeds))
-								for i, v := range ti.bg.Seeds {
-									labels[i] = d.Labels[v]
+								bi := t*sched.trainStride + trainOffset
+								var it fetchItem
+								if bi < len(chunk) {
+									it.bg = bulk.ExtractBatch(bi)
+									it.verts = it.bg.InputVertices()
 								}
-								loss, dLogits := gnn.Loss(act, labels)
-								g, bwdFlops := model.Backward(act, dLogits)
-								grads = g
-								rm.ChargeDense(fwdFlops + bwdFlops)
-								rm.ChargeKernels(4 * cfg.Layers)
-								lossSum += loss
-								lossN++
-							}
+								return it, nil
+							},
+						},
+						// 2) Feature fetch: all-to-allv over the process
+						// column; iterations without a real batch join
+						// with empty requests.
+						{
+							Name:  PhaseFeatureFetch,
+							Queue: 1,
+							Comms: fetchComms,
+							Run: func(rf *cluster.Rank, idx int, in any) (any, error) {
+								it := in.(fetchItem)
+								rf.SetPhase(PhaseFeatureFetch)
+								feats := store.FetchCached(rf, it.verts, featCache)
+								return trainItem{bg: it.bg, feats: feats}, nil
+							},
+						},
+						// 3) Propagation with data-parallel gradient
+						// all-reduce, on the rank's main timeline;
+						// iterations without a real batch contribute
+						// zero gradients.
+						{
+							Name:  PhasePropagation,
+							Comms: []*cluster.Comm{world},
+							Run: func(rm *cluster.Rank, idx int, in any) (any, error) {
+								ti := in.(trainItem)
+								rm.SetPhase(PhasePropagation)
+								grads := zeroGrads
+								if ti.bg != nil {
+									act, fwdFlops := model.Forward(ti.bg, ti.feats)
+									labels := make([]int, len(ti.bg.Seeds))
+									for i, v := range ti.bg.Seeds {
+										labels[i] = d.Labels[v]
+									}
+									loss, dLogits := gnn.Loss(act, labels)
+									g, bwdFlops := model.Backward(act, dLogits)
+									grads = g
+									rm.ChargeDense(fwdFlops + bwdFlops)
+									rm.ChargeKernels(4 * cfg.Layers)
+									lossSum += loss
+									lossN++
+								}
 
-							// The gradient all-reduce schedule (flat /
-							// ring / hierarchical) is dispatched by the
-							// model's Collectives table. The optimizer
-							// step runs once, on the shared model,
-							// inside the collective; every rank still
-							// charges the step's memory traffic.
-							cluster.AllReduceSumApply(world, rm, grads, func(total []float64) {
-								inv := 1.0 / float64(cfg.P)
-								for i := range total {
-									total[i] *= inv
-								}
-								opt.Step(model.Params(), total)
-								model.NextDropoutSeed()
-							})
-							rm.ChargeDense(int64(3 * model.NumParams()))
-							return nil, nil
+								// The gradient all-reduce schedule (flat /
+								// ring / hierarchical) is dispatched by the
+								// model's Collectives table. The optimizer
+								// step runs once, on the shared model,
+								// inside the collective; every rank still
+								// charges the step's memory traffic.
+								cluster.AllReduceSumApply(world, rm, grads, func(total []float64) {
+									inv := 1.0 / float64(cfg.P)
+									for i := range total {
+										total[i] *= inv
+									}
+									opt.Step(model.Params(), total)
+									model.NextDropoutSeed()
+								})
+								rm.ChargeDense(int64(3 * model.NumParams()))
+								return nil, nil
+							},
 						},
 					},
-				},
+				}
+				if err := pipe.Execute(r, sched.rounds*sched.trainPerRound); err != nil {
+					return err
+				}
+				lossSums[r.ID][epoch] = lossSum
+				lossCounts[r.ID][epoch] = lossN
+				if cfg.TrackVal && r.ID == 0 {
+					epochParams[epoch] = append([]float64(nil), model.Params()...)
+				}
+				// Epoch boundary bdry = epoch+1 completed epochs. Every
+				// rank pays the checkpoint write (HostLink, before the
+				// snapshot, so the restore point includes the charge) and
+				// contributes its accounting snapshot; rank 0 adds the
+				// replicated training state, which is stable here — no rank
+				// can start the next epoch's first optimizer step until all
+				// ranks pass this boundary's collective.
+				if bdry := epoch + 1; col != nil && bdry%cfg.CkptInterval == 0 && bdry < cfg.Epochs {
+					r.SetPhase(resilience.PhaseCheckpoint)
+					r.ChargeLink(cluster.HostLink, ckptBytes)
+					if r.ID == 0 {
+						t, am, av := opt.State()
+						if err := col.AddState(bdry, model.DropoutSeed(), model.Params(), t, am, av); err != nil {
+							return err
+						}
+					}
+					if err := col.AddRank(bdry, r.ID, r.Snapshot()); err != nil {
+						return err
+					}
+				}
 			}
-			if err := pipe.Execute(r, sched.rounds*sched.trainPerRound); err != nil {
-				return err
+			if r.ID == 0 {
+				finalParams = append([]float64(nil), model.Params()...)
 			}
-			lossSums[r.ID][epoch] = lossSum
-			lossCounts[r.ID][epoch] = lossN
-			if cfg.TrackVal && r.ID == 0 {
-				epochParams[epoch] = append([]float64(nil), model.Params()...)
+			return nil
+		})
+	}
+
+	// Restart driver. A clean run is exactly one attempt — when no plan
+	// and no interval are configured the loop body reduces to the
+	// pre-resilience code path, bit-identical. After a fault-class
+	// failure the fired plan entry is retired (the restored timeline
+	// must not re-fire it forever), the latest complete checkpoint is
+	// decoded, and the next attempt resumes from its epoch; without a
+	// checkpoint the deterministic initial state is rebuilt and training
+	// restarts from scratch. Every restart removes one plan entry, so
+	// the loop terminates.
+	plan := cfg.Model.Faults
+	var rec *resilience.Stats
+	if plan != nil || col != nil {
+		rec = &resilience.Stats{}
+	}
+	var res *cluster.Result
+	restarted := false
+	startEpoch, restoreClock := 0, 0.0
+	var ck *graphio.Checkpoint
+	for {
+		if rec != nil {
+			rec.Attempts++
+		}
+		if ck != nil {
+			model.SetParams(ck.Params)
+			model.SetDropoutSeed(ck.DropSeed)
+			opt.SetState(ck.OptT, ck.OptM, ck.OptV)
+		} else if restarted {
+			model = newModel()
+			opt = dense.NewAdam(cfg.LR)
+		}
+		r, err := attempt(plan, startEpoch, ck)
+		if err == nil {
+			res = r
+			break
+		}
+		var rf *cluster.RankFailure
+		if !errors.As(err, &rf) {
+			return nil, err
+		}
+		plan = plan.Retire(rf)
+		restarted = true
+		ck, startEpoch, restoreClock = nil, 0, 0
+		if col != nil {
+			col.Abort()
+			if ck, err = col.Latest(); err != nil {
+				return nil, err
+			}
+			if ck != nil {
+				startEpoch = ck.Epoch
+				restoreClock = col.LatestClock()
 			}
 		}
-		if r.ID == 0 {
-			finalParams = append([]float64(nil), model.Params()...)
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
+		rec.RecordFailure(rf, startEpoch, restoreClock)
 	}
 
 	// Phase totals cover all epochs; each epoch does identical work, so
@@ -602,7 +740,7 @@ func Run(d *datasets.Dataset, cfg Config) (*Result, error) {
 		}
 	}
 	return &Result{Epochs: epochs, Cluster: res, Params: finalParams, Cfg: cfg,
-		EffectiveK: sched.effectiveBulk()}, nil
+		EffectiveK: sched.effectiveBulk(), Recovery: rec}, nil
 }
 
 // AggregateLoss folds per-rank loss sums into the global batch-weighted

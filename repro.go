@@ -46,6 +46,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/graphio"
 	"repro/internal/pipeline"
+	"repro/internal/resilience"
 	"repro/internal/sparse"
 )
 
@@ -97,6 +98,23 @@ type (
 	QuiverConfig = baseline.QuiverConfig
 	// ExperimentOptions sizes a harness experiment.
 	ExperimentOptions = bench.Options
+	// FaultPlan is a deterministic fail-stop injection schedule carried
+	// by the cost model (TrainConfig.Faults). Build plans with FailAt /
+	// NewFaultPlan / RandomFaultPlan / ParseFaults — the faultseam
+	// analyzer confines literal construction to the seam packages.
+	FaultPlan = cluster.FaultPlan
+	// Failure is one fail-stop event of a plan — the entry type of
+	// RecoveryStats.Failures. Construct entries with FaultFailure.
+	Failure = cluster.Failure
+	// RankFailure is the root-cause error behind a fault-class abort.
+	// Train recovers from injected failures internally (restart +
+	// restore), so it surfaces only to direct cluster users;
+	// errors.Is(err, ErrRankFailed) classifies such aborts.
+	RankFailure = cluster.RankFailure
+	// RecoveryStats reports what recovery cost on a faulted run
+	// (TrainResult.Recovery): attempts, fired failures, resume epochs
+	// and discarded simulated work.
+	RecoveryStats = resilience.Stats
 )
 
 // Dataset size profiles.
@@ -208,6 +226,37 @@ func LearnableSBM() *Dataset { return datasets.DefaultSBM() }
 // (Section 7.2): 4x A100 per node, NVLink 3.0, Slingshot-11.
 func Perlmutter() CostModel { return cluster.Perlmutter() }
 
+// ErrRankFailed is the sentinel behind every fault-class abort: any
+// error caused by an injected fail-stop (the failed rank's own demise
+// or a survivor's poisoned collective) matches
+// errors.Is(err, ErrRankFailed).
+var ErrRankFailed = cluster.ErrRankFailed
+
+// FailAt returns a single-failure plan: rank halts when its simulated
+// clock reaches at (seconds). Set it on TrainConfig.Faults; Train
+// recovers via restart, resuming from the latest epoch-boundary
+// checkpoint when TrainConfig.CkptInterval schedules one.
+func FailAt(rank int, at float64) *FaultPlan { return resilience.FailAt(rank, at) }
+
+// FaultFailure constructs one fail-stop plan entry (rank, seconds).
+func FaultFailure(rank int, at float64) Failure { return resilience.Failure(rank, at) }
+
+// NewFaultPlan builds a plan from explicit entries (see FaultFailure);
+// no entries means no injection (nil plan).
+func NewFaultPlan(failures ...Failure) *FaultPlan { return resilience.Plan(failures...) }
+
+// RandomFaultPlan draws k failures deterministically from seed: ranks
+// uniform over [0, p), fail times uniform over [minAt, maxAt) simulated
+// seconds.
+func RandomFaultPlan(seed int64, p, k int, minAt, maxAt float64) *FaultPlan {
+	return resilience.RandomPlan(seed, p, k, minAt, maxAt)
+}
+
+// ParseFaults parses the CLI -faults spelling, a comma-separated list
+// of rank@seconds events ("1@0.5,3@1.25"); "" and "default" mean no
+// injection (nil plan).
+func ParseFaults(s string) (*FaultPlan, error) { return cliutil.ParseFaults(s) }
+
 // Train runs simulated distributed minibatch training (Figure 3
 // pipeline) and returns per-epoch phase breakdowns and the trained
 // parameters. The epoch loop runs on the staged-execution engine:
@@ -273,6 +322,16 @@ func ContentionExperiment(w io.Writer, o ExperimentOptions) ([]bench.ContentionR
 // (one batch per rank at every p).
 func ScalingStudy(w io.Writer, o ExperimentOptions) ([]bench.ScalingRow, error) {
 	return bench.Scaling(w, o)
+}
+
+// ResilienceExperiment sweeps the checkpoint interval against an
+// injected fail-stop for both training strategies, reporting the
+// checkpoint overhead of clean runs beside the recovery cost
+// (attempts, resume epoch, discarded simulated work) of faulted ones.
+// faults == nil injects a single failure at ~60% of the clean span;
+// intervals == nil sweeps {0, 1, 2, 4}.
+func ResilienceExperiment(w io.Writer, dataset string, p int, intervals []int, faults *FaultPlan, o ExperimentOptions) ([]bench.ResilienceRow, error) {
+	return bench.Resilience(w, dataset, p, intervals, faults, o)
 }
 
 // PerfSuite measures the simulator's own performance on the pinned

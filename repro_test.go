@@ -189,3 +189,60 @@ func TestPublicFigure7LadiesAndTables(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPublicFaultRecovery(t *testing.T) {
+	d := tinyDataset()
+	cfg := TrainConfig{P: 4, C: 1, Epochs: 2, Seed: 31, LR: 0.02, MaxBatches: 8}
+	clean, err := Train(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.CkptInterval = 1
+	cfgCkpt := cfg
+	ckpt, err := Train(d, cfgCkpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgCkpt.Faults = FailAt(1, clean.Cluster.SimTime*0.9)
+	failed, err := Train(d, cfgCkpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := failed.Recovery
+	if rec.Attempts != 2 || len(rec.Failures) != 1 || rec.WastedSim <= 0 {
+		t.Fatalf("unexpected recovery stats: %+v", rec)
+	}
+	if rec.Failures[0] != FaultFailure(1, clean.Cluster.SimTime*0.9) {
+		t.Fatalf("fired failure mismatch: %+v", rec.Failures[0])
+	}
+	for i, got := range failed.Params {
+		if got != ckpt.Params[i] {
+			t.Fatalf("param %d diverged after recovery: %v != %v", i, got, ckpt.Params[i])
+		}
+	}
+	if _, err := ParseFaults("1@0.5,3@1.25"); err != nil {
+		t.Fatal(err)
+	}
+	if p, err := ParseFaults("default"); err != nil || p != nil {
+		t.Fatalf("default spelling: plan %v err %v", p, err)
+	}
+	if NewFaultPlan(FaultFailure(0, 0.5)) == nil || RandomFaultPlan(1, 4, 2, 0.1, 0.2) == nil {
+		t.Fatal("plan constructors returned nil")
+	}
+}
+
+func TestPublicResilienceExperiment(t *testing.T) {
+	opts := ExperimentOptions{Profile: Tiny, Seed: 33, MaxBatches: 2}
+	rows, err := ResilienceExperiment(io.Discard, "products", 4, []int{0, 1}, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("want 4 rows (2 strategies x 2 intervals), got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Attempts < 2 {
+			t.Fatalf("%s interval %d: failure did not fire (attempts %d)", r.Strategy, r.Interval, r.Attempts)
+		}
+	}
+}
